@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks: predict+train throughput of each predictor.
+//!
+//! These measure the software model's cost (relevant when running the full
+//! experiment sweep), not hardware latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mascot::{BypassClass, LoadOutcome, MemDepPredictor, ObservedDependence, StoreDistance};
+use mascot_bench::PredictorKind;
+use mascot_predictors::AnyPredictor;
+
+/// A deterministic stream of (pc, outcome) pairs with realistic mix.
+fn training_stream(n: usize) -> Vec<(u64, LoadOutcome)> {
+    (0..n)
+        .map(|i| {
+            let pc = 0x400_000 + ((i * 37) % 256) as u64 * 4;
+            let outcome = if i % 3 == 0 {
+                LoadOutcome::dependent(ObservedDependence {
+                    distance: StoreDistance::new(1 + (i as u32 % 9)).unwrap(),
+                    class: if i % 2 == 0 {
+                        BypassClass::DirectBypass
+                    } else {
+                        BypassClass::MdpOnly
+                    },
+                    store_pc: 0x500_000 + ((i * 13) % 64) as u64 * 4,
+                    branches_between: (i % 5) as u32,
+                })
+            } else {
+                LoadOutcome::independent()
+            };
+            (pc, outcome)
+        })
+        .collect()
+}
+
+fn drive(p: &mut AnyPredictor, stream: &[(u64, LoadOutcome)]) {
+    for (i, (pc, outcome)) in stream.iter().enumerate() {
+        let (pred, meta) = p.predict(*pc, i as u64, None);
+        p.train(*pc, meta, pred, outcome);
+        if i % 4 == 0 {
+            p.on_branch(&mascot::BranchEvent {
+                pc: 0x600_000 + (i % 32) as u64 * 4,
+                kind: mascot::BranchKind::Conditional,
+                taken: i % 2 == 0,
+                target: 0x600_100,
+            });
+        }
+    }
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let stream = training_stream(4096);
+    let mut group = c.benchmark_group("predict_train_4k_loads");
+    for kind in [
+        PredictorKind::Mascot,
+        PredictorKind::MascotOpt(4),
+        PredictorKind::Phast,
+        PredictorKind::NoSq,
+        PredictorKind::StoreSets,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || kind.build(),
+                |mut p| drive(&mut p, &stream),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

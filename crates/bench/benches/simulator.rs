@@ -1,0 +1,29 @@
+//! Criterion benchmark: end-to-end simulator throughput (simulated µops per
+//! wall-clock second) with the MASCOT predictor attached.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mascot_bench::PredictorKind;
+use mascot_sim::{simulate, CoreConfig};
+use mascot_workloads::{generate, spec};
+
+fn bench_simulator(c: &mut Criterion) {
+    let core = CoreConfig::golden_cove();
+    let uops = 40_000usize;
+    let mut group = c.benchmark_group("simulate_40k_uops");
+    group.sample_size(10);
+    for name in ["perlbench2", "bwaves", "mcf"] {
+        let profile = spec::profile(name).expect("known benchmark");
+        let trace = generate(&profile, 2025, uops);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = PredictorKind::Mascot.build();
+                simulate(&trace, &core, &mut p)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

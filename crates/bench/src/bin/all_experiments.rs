@@ -1,0 +1,37 @@
+//! Runs every experiment binary in sequence, mirroring the paper's
+//! evaluation section end to end. Equivalent to running each `table*` /
+//! `figure*` binary yourself; see DESIGN.md §3 for the index.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("binary directory");
+    let experiments = [
+        "table01",
+        "table02",
+        "counter_decay",
+        "figure02",
+        "figure07",
+        "figure08",
+        "figure09",
+        "figure10",
+        "figure11",
+        "figure12",
+        "figure13",
+        "figure14",
+        "figure15",
+        "ablations",
+        "window_sweep",
+        "bottleneck",
+    ];
+    let started = std::time::Instant::now();
+    for name in experiments {
+        println!("\n######## {name} ########\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed with {status}");
+    }
+    println!("\nall experiments completed in {:?}", started.elapsed());
+}

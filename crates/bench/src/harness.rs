@@ -1,0 +1,352 @@
+//! Experiment harness: builds predictors, runs (benchmark × predictor ×
+//! core) simulations in parallel, and aggregates results.
+
+use mascot::config::MascotConfig;
+use mascot::mdp_only::MascotMdpOnly;
+use mascot::predictor::Mascot;
+use mascot::MemDepPredictor;
+use mascot_predictors::{AnyPredictor, MdpTage, NoSq, PerfectMdp, PerfectMdpSmb, Phast, StoreSets};
+use mascot_sim::{simulate, CoreConfig, SimStats};
+use mascot_workloads::{generate, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Default trace length per benchmark (micro-ops).
+pub const DEFAULT_TRACE_UOPS: usize = 150_000;
+/// Default generation seed.
+pub const DEFAULT_SEED: u64 = 2025;
+
+/// Every predictor configuration evaluated across the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// MASCOT, default 14 KiB geometry, MDP + SMB.
+    Mascot,
+    /// MASCOT used for MDP only (Fig. 9).
+    MascotMdp,
+    /// MASCOT-OPT (§VI-D) with the tag width reduced by the given number of
+    /// bits (0 = plain MASCOT-OPT; 4 = the paper's 10.1 KiB point).
+    MascotOpt(u8),
+    /// The Fig. 11 ablation: MASCOT without non-dependence allocation.
+    TageNoNd,
+    /// PHAST (MDP only).
+    Phast,
+    /// NoSQ-style MDP + SMB.
+    NoSq,
+    /// Historical MDP-TAGE baseline (§II): 3-bit distance, 1-bit usefulness.
+    MdpTage,
+    /// Store Sets (MDP only).
+    StoreSets,
+    /// Perfect MDP oracle (the normalisation baseline).
+    PerfectMdp,
+    /// Perfect MDP + SMB oracle.
+    PerfectMdpSmb,
+}
+
+impl PredictorKind {
+    /// Builds a fresh predictor instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a MASCOT configuration fails validation (indicates a bug in
+    /// the preset, not user input).
+    pub fn build(self) -> AnyPredictor {
+        match self {
+            PredictorKind::Mascot => {
+                AnyPredictor::Mascot(Mascot::new(MascotConfig::default()).expect("valid preset"))
+            }
+            PredictorKind::MascotMdp => AnyPredictor::MascotMdp(
+                MascotMdpOnly::new(MascotConfig::default()).expect("valid preset"),
+            ),
+            PredictorKind::MascotOpt(tag_reduction) => {
+                let cfg = if tag_reduction == 0 {
+                    MascotConfig::opt()
+                } else {
+                    MascotConfig::opt_with_tag_reduction(tag_reduction)
+                };
+                AnyPredictor::Mascot(Mascot::new(cfg).expect("valid preset"))
+            }
+            PredictorKind::TageNoNd => AnyPredictor::Mascot(
+                Mascot::without_non_dependence_allocation(MascotConfig::default())
+                    .expect("valid preset"),
+            ),
+            PredictorKind::Phast => AnyPredictor::Phast(Phast::default()),
+            PredictorKind::NoSq => AnyPredictor::NoSq(NoSq::default()),
+            PredictorKind::MdpTage => AnyPredictor::MdpTage(MdpTage::default()),
+            PredictorKind::StoreSets => AnyPredictor::StoreSets(StoreSets::default()),
+            PredictorKind::PerfectMdp => AnyPredictor::PerfectMdp(PerfectMdp::new()),
+            PredictorKind::PerfectMdpSmb => AnyPredictor::PerfectMdpSmb(PerfectMdpSmb::new()),
+        }
+    }
+
+    /// Display label used in tables.
+    pub fn label(self) -> String {
+        match self {
+            PredictorKind::Mascot => "mascot".into(),
+            PredictorKind::MascotMdp => "mascot-mdp".into(),
+            PredictorKind::MascotOpt(0) => "mascot-opt".into(),
+            PredictorKind::MascotOpt(n) => format!("mascot-opt-tag-{n}"),
+            PredictorKind::TageNoNd => "tage-no-nd".into(),
+            PredictorKind::Phast => "phast".into(),
+            PredictorKind::NoSq => "nosq".into(),
+            PredictorKind::MdpTage => "mdp-tage".into(),
+            PredictorKind::StoreSets => "store-sets".into(),
+            PredictorKind::PerfectMdp => "perfect-mdp".into(),
+            PredictorKind::PerfectMdpSmb => "perfect-mdp-smb".into(),
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Core configuration name.
+    pub core: String,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// Predictor storage (KiB).
+    pub storage_kib: f64,
+}
+
+/// Trace length override from `MASCOT_TRACE_UOPS`, else the default.
+pub fn trace_uops_from_env() -> usize {
+    std::env::var("MASCOT_TRACE_UOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_UOPS)
+}
+
+/// Runs one simulation against a caller-owned predictor (used by the
+/// Figs. 13–14 experiments, which inspect predictor-internal state after
+/// the run). `tuning_period` enables periodic §IV-F snapshots.
+pub fn run_with_predictor(
+    profile: &WorkloadProfile,
+    predictor: &mut AnyPredictor,
+    core: &CoreConfig,
+    trace_uops: usize,
+    seed: u64,
+    tuning_period: Option<u64>,
+) -> RunResult {
+    let trace = generate(profile, seed, trace_uops);
+    let sim = mascot_sim::Simulator::new(&trace, core, predictor);
+    let sim = match tuning_period {
+        Some(p) => sim.with_tuning_period(p),
+        None => sim,
+    };
+    let stats = sim.run();
+    RunResult {
+        benchmark: profile.name.to_string(),
+        predictor: predictor.name().to_string(),
+        core: core.name.clone(),
+        stats,
+        storage_kib: predictor.storage_kib(),
+    }
+}
+
+/// Runs one (benchmark, predictor, core) combination.
+pub fn run_one(
+    profile: &WorkloadProfile,
+    kind: PredictorKind,
+    core: &CoreConfig,
+    trace_uops: usize,
+    seed: u64,
+) -> RunResult {
+    let trace = generate(profile, seed, trace_uops);
+    let mut predictor = kind.build();
+    let stats = simulate(&trace, core, &mut predictor);
+    RunResult {
+        benchmark: profile.name.to_string(),
+        predictor: kind.label(),
+        core: core.name.clone(),
+        stats,
+        storage_kib: predictor.storage_kib(),
+    }
+}
+
+/// Runs the full cross product in parallel (one thread per combination,
+/// bounded by the host's parallelism).
+pub fn run_suite(
+    profiles: &[WorkloadProfile],
+    kinds: &[PredictorKind],
+    core: &CoreConfig,
+    trace_uops: usize,
+    seed: u64,
+) -> Vec<RunResult> {
+    let jobs: Vec<(usize, &WorkloadProfile, PredictorKind)> = profiles
+        .iter()
+        .flat_map(|p| kinds.iter().map(move |&k| (p, k)))
+        .enumerate()
+        .map(|(i, (p, k))| (i, p, k))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(idx, profile, kind)) = jobs.get(i) else {
+                    break;
+                };
+                let result = run_one(profile, kind, core, trace_uops, seed);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner().expect("result slot poisoned");
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
+}
+
+/// Finds the result for (benchmark, predictor) in a result set.
+pub fn find<'a>(results: &'a [RunResult], benchmark: &str, predictor: &str) -> Option<&'a RunResult> {
+    results
+        .iter()
+        .find(|r| r.benchmark == benchmark && r.predictor == predictor)
+}
+
+/// Per-benchmark IPC of `predictor` normalised to `baseline`.
+pub fn normalized_ipc(results: &[RunResult], benchmark: &str, predictor: &str, baseline: &str) -> Option<f64> {
+    let p = find(results, benchmark, predictor)?.stats.ipc();
+    let b = find(results, benchmark, baseline)?.stats.ipc();
+    mascot_stats::summary::normalize(p, b)
+}
+
+/// Geometric-mean normalised IPC of `predictor` vs `baseline` across all
+/// benchmarks present in `results`.
+pub fn geomean_normalized_ipc(
+    results: &[RunResult],
+    benchmarks: &[String],
+    predictor: &str,
+    baseline: &str,
+) -> Option<f64> {
+    let ratios: Option<Vec<f64>> = benchmarks
+        .iter()
+        .map(|b| normalized_ipc(results, b, predictor, baseline))
+        .collect();
+    mascot_stats::summary::geometric_mean(ratios?)
+}
+
+/// The distinct benchmark names in a result set, in first-seen order.
+pub fn benchmarks(results: &[RunResult]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in results {
+        if seen.insert(r.benchmark.clone()) {
+            out.push(r.benchmark.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot_workloads::spec;
+
+    #[test]
+    fn kinds_build_and_have_expected_sizes() {
+        assert!((PredictorKind::Mascot.build().storage_kib() - 14.0).abs() < 0.01);
+        assert!((PredictorKind::Phast.build().storage_kib() - 14.5).abs() < 0.01);
+        assert!((PredictorKind::NoSq.build().storage_kib() - 19.0).abs() < 0.01);
+        assert!((PredictorKind::MascotOpt(4).build().storage_kib() - 10.125).abs() < 0.01);
+        assert_eq!(PredictorKind::PerfectMdp.build().storage_kib(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            PredictorKind::Mascot,
+            PredictorKind::MascotMdp,
+            PredictorKind::MascotOpt(0),
+            PredictorKind::MascotOpt(4),
+            PredictorKind::TageNoNd,
+            PredictorKind::Phast,
+            PredictorKind::NoSq,
+            PredictorKind::StoreSets,
+            PredictorKind::PerfectMdp,
+            PredictorKind::PerfectMdpSmb,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn run_one_produces_complete_stats() {
+        let profile = spec::profile("exchange2").unwrap();
+        let r = run_one(
+            &profile,
+            PredictorKind::PerfectMdp,
+            &CoreConfig::golden_cove(),
+            20_000,
+            1,
+        );
+        assert!(r.stats.committed_uops >= 20_000);
+        assert!(r.stats.ipc() > 0.1);
+        assert_eq!(r.benchmark, "exchange2");
+    }
+
+    #[test]
+    fn suite_runner_covers_cross_product() {
+        let profiles = vec![
+            spec::profile("exchange2").unwrap(),
+            spec::profile("bwaves").unwrap(),
+        ];
+        let kinds = [PredictorKind::PerfectMdp, PredictorKind::StoreSets];
+        let results = run_suite(&profiles, &kinds, &CoreConfig::golden_cove(), 15_000, 3);
+        assert_eq!(results.len(), 4);
+        assert!(find(&results, "bwaves", "store-sets").is_some());
+        let bs = benchmarks(&results);
+        assert_eq!(bs, vec!["exchange2".to_string(), "bwaves".to_string()]);
+    }
+
+    #[test]
+    fn normalized_ipc_handles_missing_entries() {
+        let results: Vec<RunResult> = Vec::new();
+        assert!(normalized_ipc(&results, "x", "mascot", "perfect-mdp").is_none());
+        assert!(geomean_normalized_ipc(&results, &["x".to_string()], "mascot", "perfect-mdp")
+            .is_none());
+    }
+
+    #[test]
+    fn trace_uops_env_override() {
+        // No env var set in the test environment: default applies.
+        assert_eq!(trace_uops_from_env(), DEFAULT_TRACE_UOPS);
+    }
+
+    #[test]
+    fn run_with_predictor_reports_inner_name_and_size() {
+        let profile = spec::profile("exchange2").unwrap();
+        let mut p = PredictorKind::MascotOpt(4).build();
+        let r = run_with_predictor(
+            &profile,
+            &mut p,
+            &CoreConfig::golden_cove(),
+            10_000,
+            1,
+            None,
+        );
+        assert_eq!(r.predictor, "mascot");
+        assert!((r.storage_kib - 10.125).abs() < 0.01);
+        assert!(r.stats.committed_uops >= 10_000);
+    }
+
+    #[test]
+    fn mdp_tage_kind_builds() {
+        use mascot::MemDepPredictor;
+        let p = PredictorKind::MdpTage.build();
+        assert_eq!(p.name(), "mdp-tage");
+        assert!((p.storage_kib() - 10.0).abs() < 0.01);
+    }
+}

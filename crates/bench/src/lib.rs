@@ -1,0 +1,22 @@
+//! # mascot-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the MASCOT paper's evaluation.
+//! Each `figure*`/`table*` binary under `src/bin/` runs the relevant
+//! (benchmark × predictor × core) sweep through the [`harness`] and prints
+//! the same rows/series the paper reports; `all_experiments` runs the lot.
+//!
+//! See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    benchmarks, find, geomean_normalized_ipc, normalized_ipc, run_one, run_suite,
+    run_with_predictor, trace_uops_from_env, PredictorKind, RunResult, DEFAULT_SEED,
+    DEFAULT_TRACE_UOPS,
+};
+pub use table::TextTable;

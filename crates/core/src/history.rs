@@ -1,0 +1,599 @@
+//! Global branch / path history and TAGE-style folded registers.
+//!
+//! MASCOT indexes each table with a hash of the load PC and an increasing
+//! window of global branch history plus path history (§IV-B, Fig. 3).
+//! Conditional branches contribute one taken/not-taken bit; indirect
+//! branches contribute their target folded to 5 bits.
+//!
+//! [`FoldedHistory`] maintains the classic circular-shift-register folding:
+//! the folded value is a pure function of the *contents* of the history
+//! window (each event's contribution is rotated by its age), so identical
+//! contexts always hash to identical indices regardless of when they occur.
+//! Incremental updates are O(1); after a pipeline squash the register is
+//! recomputed from the architectural event log in O(window).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Control-flow class of a history event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Direction-predicted branch: contributes its taken bit.
+    Conditional,
+    /// Indirect branch/call/return: contributes its target folded to 5 bits.
+    Indirect,
+}
+
+/// One committed-path branch, as recorded in global history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchEvent {
+    /// PC of the branch instruction.
+    pub pc: u64,
+    /// Conditional or indirect.
+    pub kind: BranchKind,
+    /// Direction (always `true` for indirect/unconditional transfers).
+    pub taken: bool,
+    /// Branch target.
+    pub target: u64,
+}
+
+/// Width in bits of one event's history contribution.
+pub const CHUNK_BITS: u32 = 5;
+
+impl BranchEvent {
+    /// The event's direction-history contribution: 1 bit for conditional
+    /// branches, a 5-bit fold of the target for indirect branches (§IV-B).
+    #[inline]
+    pub fn chunk(&self) -> u64 {
+        match self.kind {
+            BranchKind::Conditional => u64::from(self.taken),
+            BranchKind::Indirect => {
+                let t = self.target >> 2;
+                (t ^ (t >> 5) ^ (t >> 10) ^ (t >> 15)) & 0x1f
+            }
+        }
+    }
+
+    /// The event's path-history contribution: low PC bits.
+    #[inline]
+    pub fn path_chunk(&self) -> u64 {
+        (self.pc >> 2) & 0x1f
+    }
+}
+
+/// A bounded log of the most recent branch events, most recent last.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalHistory {
+    events: VecDeque<BranchEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl GlobalHistory {
+    /// Creates a history log retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be non-zero");
+        Self {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if at capacity.
+    pub fn push(&mut self, event: BranchEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.total += 1;
+    }
+
+    /// The event `age` positions back (0 = most recent), if retained.
+    #[inline]
+    pub fn event_at_age(&self, age: usize) -> Option<&BranchEvent> {
+        let len = self.events.len();
+        if age < len {
+            self.events.get(len - 1 - age)
+        } else {
+            None
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever pushed (not capped by capacity).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Replaces the log contents with `events` (oldest first), used when
+    /// restoring the architectural path after a squash.
+    pub fn replace(&mut self, events: &[BranchEvent]) {
+        self.events.clear();
+        let skip = events.len().saturating_sub(self.capacity);
+        self.events.extend(events[skip..].iter().copied());
+        self.total = events.len() as u64;
+    }
+
+    /// Iterates retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &BranchEvent> {
+        self.events.iter()
+    }
+}
+
+/// A folded view of the last `window` history events, `bits` wide.
+///
+/// The folded value is `XOR over events e of rotl(chunk(e), age(e) % bits)`,
+/// a pure function of the window contents. `window == 0` always folds to 0
+/// (the zero-history table is indexed by PC alone).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldedHistory {
+    bits: u32,
+    window: u32,
+    reg: u64,
+}
+
+impl FoldedHistory {
+    /// Creates an empty folded register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    pub fn new(bits: u32, window: u32) -> Self {
+        assert!(bits > 0 && bits < 64, "fold width must be in 1..=63 bits");
+        Self {
+            bits,
+            window,
+            reg: 0,
+        }
+    }
+
+    /// The current folded value (`bits` wide).
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.reg
+    }
+
+    /// The window length in events.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    #[inline]
+    fn rotl(&self, x: u64, r: u32) -> u64 {
+        let r = r % self.bits;
+        let x = x & self.mask();
+        if r == 0 {
+            x
+        } else {
+            ((x << r) | (x >> (self.bits - r))) & self.mask()
+        }
+    }
+
+    /// Folds an up-to-`CHUNK_BITS`-bit chunk into the register width.
+    #[inline]
+    fn squash_chunk(&self, chunk: u64) -> u64 {
+        if self.bits >= CHUNK_BITS {
+            chunk & self.mask()
+        } else {
+            ((chunk >> self.bits) ^ chunk) & self.mask()
+        }
+    }
+
+    /// Incrementally advances the fold by one event.
+    ///
+    /// `incoming` is the chunk of the newly inserted event; `outgoing` is
+    /// the chunk of the event falling out of the window (i.e. the event that
+    /// was at age `window - 1` before this push), or `None` while the window
+    /// is still filling.
+    #[inline]
+    pub fn push(&mut self, incoming: u64, outgoing: Option<u64>) {
+        if self.window == 0 {
+            return;
+        }
+        self.reg = self.rotl(self.reg, 1);
+        self.reg ^= self.squash_chunk(incoming);
+        if let Some(out) = outgoing {
+            let fold = self.squash_chunk(out);
+            self.reg ^= self.rotl(fold, self.window % self.bits);
+        }
+    }
+
+    /// Rebuilds the fold from scratch against a history log (used after a
+    /// squash rewinds the speculative path).
+    pub fn recompute<F>(&mut self, history: &GlobalHistory, chunk_of: F)
+    where
+        F: Fn(&BranchEvent) -> u64,
+    {
+        self.reg = 0;
+        if self.window == 0 {
+            return;
+        }
+        for age in 0..(self.window as usize).min(history.len()) {
+            let ev = history
+                .event_at_age(age)
+                .expect("age < len implies presence");
+            let fold = self.squash_chunk(chunk_of(ev));
+            self.reg ^= self.rotl(fold, age as u32 % self.bits);
+        }
+    }
+}
+
+/// Per-table hash state: direction-history, path-history and tag folds.
+///
+/// Produces the set index and tag for one tagged table given a load PC, per
+/// §IV-B ("the index and tag are computed by folding the load PC and
+/// increasing lengths of the global branch and path history").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableHasher {
+    history_len: u32,
+    index_bits: u32,
+    tag_bits: u32,
+    index_fold: FoldedHistory,
+    tag_fold_a: FoldedHistory,
+    tag_fold_b: FoldedHistory,
+    path_fold: FoldedHistory,
+}
+
+/// Number of path-history events folded into the index (16-bit path history
+/// as in PHAST/IDist, at 1 event per branch).
+pub const PATH_WINDOW: u32 = 16;
+
+impl TableHasher {
+    /// Creates a hasher for a table with `1 << index_bits` sets, tags of
+    /// `tag_bits` bits, indexed with `history_len` branches of context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` or `tag_bits` is zero or 64 or larger.
+    pub fn new(history_len: u32, index_bits: u32, tag_bits: u32) -> Self {
+        let tag_b = if tag_bits > 1 { tag_bits - 1 } else { tag_bits };
+        // A single-set (index_bits == 0) table still needs non-zero-width
+        // fold registers; its index mask zeroes the result regardless.
+        let fold_bits = index_bits.max(1);
+        Self {
+            history_len,
+            index_bits,
+            tag_bits,
+            index_fold: FoldedHistory::new(fold_bits, history_len),
+            tag_fold_a: FoldedHistory::new(tag_bits, history_len),
+            tag_fold_b: FoldedHistory::new(tag_b, history_len),
+            path_fold: FoldedHistory::new(fold_bits, history_len.min(PATH_WINDOW)),
+        }
+    }
+
+    /// The table's history length in branches.
+    pub fn history_len(&self) -> u32 {
+        self.history_len
+    }
+
+    /// Advances all folds by one branch. Must be called with the history log
+    /// state *before* the event is pushed into it (so outgoing events can be
+    /// located), in the same order for every hasher sharing the log.
+    pub fn on_branch(&mut self, history_before_push: &GlobalHistory, event: &BranchEvent) {
+        let out_dir = |window: u32| -> Option<u64> {
+            if window == 0 {
+                return None;
+            }
+            history_before_push
+                .event_at_age(window as usize - 1)
+                .map(BranchEvent::chunk)
+        };
+        let out_path = |window: u32| -> Option<u64> {
+            if window == 0 {
+                return None;
+            }
+            history_before_push
+                .event_at_age(window as usize - 1)
+                .map(BranchEvent::path_chunk)
+        };
+        let dir_chunk = event.chunk();
+        self.index_fold.push(dir_chunk, out_dir(self.history_len));
+        self.tag_fold_a.push(dir_chunk, out_dir(self.history_len));
+        self.tag_fold_b.push(dir_chunk, out_dir(self.history_len));
+        let path_window = self.history_len.min(PATH_WINDOW);
+        self.path_fold
+            .push(event.path_chunk(), out_path(path_window));
+    }
+
+    /// Rebuilds all folds from the (already rewound) history log.
+    pub fn recompute(&mut self, history: &GlobalHistory) {
+        self.index_fold.recompute(history, BranchEvent::chunk);
+        self.tag_fold_a.recompute(history, BranchEvent::chunk);
+        self.tag_fold_b.recompute(history, BranchEvent::chunk);
+        self.path_fold.recompute(history, BranchEvent::path_chunk);
+    }
+
+    /// The set index for `pc` under the current history.
+    #[inline]
+    pub fn index(&self, pc: u64) -> u64 {
+        let pc = pc >> 2;
+        let mask = (1u64 << self.index_bits) - 1;
+        (pc ^ (pc >> self.index_bits)
+            ^ (pc >> (2 * self.index_bits))
+            ^ self.index_fold.value()
+            ^ self.path_fold.value())
+            & mask
+    }
+
+    /// The tag for `pc` under the current history.
+    #[inline]
+    pub fn tag(&self, pc: u64) -> u64 {
+        let pc = pc >> 2;
+        let mask = (1u64 << self.tag_bits) - 1;
+        (pc ^ (pc >> self.tag_bits) ^ self.tag_fold_a.value() ^ (self.tag_fold_b.value() << 1))
+            & mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(pc: u64, taken: bool) -> BranchEvent {
+        BranchEvent {
+            pc,
+            kind: BranchKind::Conditional,
+            taken,
+            target: pc + 8,
+        }
+    }
+
+    fn indirect(pc: u64, target: u64) -> BranchEvent {
+        BranchEvent {
+            pc,
+            kind: BranchKind::Indirect,
+            taken: true,
+            target,
+        }
+    }
+
+    #[test]
+    fn chunk_encodings() {
+        assert_eq!(cond(0x100, true).chunk(), 1);
+        assert_eq!(cond(0x100, false).chunk(), 0);
+        let i = indirect(0x200, 0xdead_beef);
+        assert!(i.chunk() <= 0x1f);
+    }
+
+    #[test]
+    fn history_ring_eviction_and_ages() {
+        let mut h = GlobalHistory::new(4);
+        for i in 0..6u64 {
+            h.push(cond(i * 4, i % 2 == 0));
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.total(), 6);
+        // Most recent is pc = 20 (i = 5).
+        assert_eq!(h.event_at_age(0).unwrap().pc, 20);
+        assert_eq!(h.event_at_age(3).unwrap().pc, 8);
+        assert!(h.event_at_age(4).is_none());
+    }
+
+    #[test]
+    fn replace_restores_contents() {
+        let mut h = GlobalHistory::new(8);
+        h.push(cond(0, true));
+        h.push(cond(4, false));
+        let snapshot: Vec<_> = h.iter().copied().collect();
+        h.push(cond(8, true));
+        h.replace(&snapshot);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.event_at_age(0).unwrap().pc, 4);
+    }
+
+    /// Incremental folding must agree exactly with recompute-from-scratch:
+    /// this is the invariant that makes squash-rewind sound.
+    #[test]
+    fn incremental_fold_matches_recompute() {
+        let window = 7u32;
+        let mut hist = GlobalHistory::new(64);
+        let mut inc = FoldedHistory::new(9, window);
+        let events: Vec<BranchEvent> = (0..40u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    indirect(i * 4, 0x1000 + i * 52)
+                } else {
+                    cond(i * 4, (i * 7) % 3 == 0)
+                }
+            })
+            .collect();
+        for ev in &events {
+            let outgoing = if window > 0 {
+                hist.event_at_age(window as usize - 1).map(BranchEvent::chunk)
+            } else {
+                None
+            };
+            inc.push(ev.chunk(), outgoing);
+            hist.push(*ev);
+            let mut scratch = FoldedHistory::new(9, window);
+            scratch.recompute(&hist, BranchEvent::chunk);
+            assert_eq!(inc.value(), scratch.value(), "diverged at pc {}", ev.pc);
+        }
+    }
+
+    /// The fold must be a pure function of the window contents: the same
+    /// window reached at different points in time folds identically.
+    #[test]
+    fn fold_depends_only_on_window_contents() {
+        let pattern: Vec<BranchEvent> = (0..4u64).map(|i| cond(i * 4, i % 2 == 0)).collect();
+        let fold_after = |warmup: usize| -> u64 {
+            let mut hist = GlobalHistory::new(64);
+            // Arbitrary warmup traffic that will have fully exited the window.
+            for i in 0..warmup as u64 {
+                hist.push(cond(0x900 + i * 4, i % 3 == 0));
+            }
+            for ev in &pattern {
+                hist.push(*ev);
+            }
+            let mut f = FoldedHistory::new(8, 4);
+            f.recompute(&hist, BranchEvent::chunk);
+            f.value()
+        };
+        assert_eq!(fold_after(0), fold_after(13));
+        assert_eq!(fold_after(13), fold_after(29));
+    }
+
+    #[test]
+    fn zero_window_folds_to_zero() {
+        let mut f = FoldedHistory::new(8, 0);
+        f.push(1, None);
+        assert_eq!(f.value(), 0);
+        let mut hist = GlobalHistory::new(8);
+        hist.push(cond(0, true));
+        f.recompute(&hist, BranchEvent::chunk);
+        assert_eq!(f.value(), 0);
+    }
+
+    #[test]
+    fn different_histories_usually_hash_differently() {
+        let mut a = GlobalHistory::new(64);
+        let mut b = GlobalHistory::new(64);
+        for i in 0..8u64 {
+            a.push(cond(i * 4, true));
+            b.push(cond(i * 4, i != 3)); // one direction differs
+        }
+        let mut fa = FoldedHistory::new(8, 8);
+        let mut fb = FoldedHistory::new(8, 8);
+        fa.recompute(&a, BranchEvent::chunk);
+        fb.recompute(&b, BranchEvent::chunk);
+        assert_ne!(fa.value(), fb.value());
+    }
+
+    #[test]
+    fn hasher_zero_history_is_pc_only() {
+        let mut hist = GlobalHistory::new(64);
+        let mut h = TableHasher::new(0, 7, 16);
+        let idx0 = h.index(0x4000);
+        let tag0 = h.tag(0x4000);
+        let ev = cond(0x10, true);
+        h.on_branch(&hist, &ev);
+        hist.push(ev);
+        assert_eq!(h.index(0x4000), idx0, "zero-history index must ignore branches");
+        assert_eq!(h.tag(0x4000), tag0);
+    }
+
+    #[test]
+    fn hasher_index_within_range() {
+        let mut hist = GlobalHistory::new(256);
+        let mut h = TableHasher::new(16, 7, 16);
+        for i in 0..100u64 {
+            let ev = cond(i * 4, i % 3 == 0);
+            h.on_branch(&hist, &ev);
+            hist.push(ev);
+            assert!(h.index(0x1234_5678) < 128);
+            assert!(h.tag(0x1234_5678) < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn hasher_recompute_matches_incremental() {
+        let mut hist = GlobalHistory::new(256);
+        let mut inc = TableHasher::new(12, 7, 14);
+        for i in 0..60u64 {
+            let ev = if i % 7 == 0 {
+                indirect(i * 4, 0x8000 + i * 24)
+            } else {
+                cond(i * 4, (i % 5) < 2)
+            };
+            inc.on_branch(&hist, &ev);
+            hist.push(ev);
+        }
+        let mut scratch = TableHasher::new(12, 7, 14);
+        scratch.recompute(&hist);
+        assert_eq!(inc.index(0xabcd0), scratch.index(0xabcd0));
+        assert_eq!(inc.tag(0xabcd0), scratch.tag(0xabcd0));
+    }
+
+    #[test]
+    fn history_affects_index_for_nonzero_tables() {
+        let mut hist = GlobalHistory::new(64);
+        let mut h = TableHasher::new(2, 7, 16);
+        let i0 = h.index(0x4000);
+        // Push two taken branches: window [T, T].
+        for pc in [0x10u64, 0x20] {
+            let ev = cond(pc, true);
+            h.on_branch(&hist, &ev);
+            hist.push(ev);
+        }
+        let i1 = h.index(0x4000);
+        assert_ne!(i0, i1, "two taken branches must perturb a 2-history index");
+    }
+
+    /// Indices spread across sets: a varied PC stream must touch most sets
+    /// of a 128-set table (hash quality, not correctness).
+    #[test]
+    fn index_hash_spreads_across_sets() {
+        let h = TableHasher::new(0, 7, 16);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..512u64 {
+            seen.insert(h.index(0x40_0000 + i * 4));
+        }
+        assert!(seen.len() > 100, "only {} of 128 sets touched", seen.len());
+    }
+
+    /// Path history contributes: two histories with identical directions
+    /// but different branch PCs must (usually) produce different indices.
+    #[test]
+    fn path_history_affects_index() {
+        let build = |pc_base: u64| {
+            let mut hist = GlobalHistory::new(64);
+            let mut h = TableHasher::new(8, 7, 16);
+            for i in 0..8u64 {
+                let ev = cond(pc_base + i * 4, true); // same directions
+                h.on_branch(&hist, &ev);
+                hist.push(ev);
+            }
+            h.index(0x40_0000)
+        };
+        // Different branch addresses (differing in the low PC bits the path
+        // chunk captures), same outcome sequence.
+        assert_ne!(build(0x100), build(0x2a8));
+    }
+
+    /// Indirect-branch targets perturb the direction history (5-bit folded
+    /// target chunks, §IV-B).
+    #[test]
+    fn indirect_targets_perturb_history() {
+        let build = |target: u64| {
+            let mut hist = GlobalHistory::new(64);
+            let mut h = TableHasher::new(4, 7, 16);
+            let ev = indirect(0x500, target);
+            h.on_branch(&hist, &ev);
+            hist.push(ev);
+            h.index(0x40_0000)
+        };
+        // Two targets whose 5-bit folds differ.
+        assert_ne!(build(0x1000), build(0x1004));
+    }
+
+    /// Replacing with a longer log than capacity keeps only the newest
+    /// events.
+    #[test]
+    fn replace_truncates_to_capacity() {
+        let mut h = GlobalHistory::new(4);
+        let events: Vec<BranchEvent> = (0..10u64).map(|i| cond(i * 4, true)).collect();
+        h.replace(&events);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.event_at_age(0).unwrap().pc, 36);
+        assert_eq!(h.event_at_age(3).unwrap().pc, 24);
+    }
+}

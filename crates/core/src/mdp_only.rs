@@ -1,0 +1,127 @@
+//! MDP-only MASCOT (§VI-A, Fig. 9): the bypassing counter is ignored and
+//! every bypass prediction is demoted to a plain dependence.
+
+use crate::history::BranchEvent;
+use crate::prediction::{GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction};
+use crate::predictor::{Mascot, MascotMeta};
+use serde::{Deserialize, Serialize};
+
+/// MASCOT used solely as a memory-dependence predictor.
+///
+/// Internally identical to [`Mascot`] (including bypass-counter training, so
+/// the tables age the same way), but the external prediction never requests
+/// speculative memory bypassing.
+///
+/// # Examples
+///
+/// ```
+/// use mascot::{MascotConfig, MascotMdpOnly, MemDepPredictor};
+///
+/// let mut p = MascotMdpOnly::new(MascotConfig::default()).expect("valid config");
+/// let (pred, _meta) = p.predict(0x400, 0, None);
+/// assert!(!pred.is_bypass());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MascotMdpOnly {
+    inner: Mascot,
+}
+
+impl MascotMdpOnly {
+    /// Builds the MDP-only predictor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors from [`Mascot::new`].
+    pub fn new(cfg: crate::config::MascotConfig) -> Result<Self, crate::config::ConfigError> {
+        Ok(Self {
+            inner: Mascot::new(cfg)?,
+        })
+    }
+
+    /// Wraps an existing MASCOT instance.
+    pub fn from_mascot(inner: Mascot) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &Mascot {
+        &self.inner
+    }
+}
+
+impl MemDepPredictor for MascotMdpOnly {
+    type Meta = MascotMeta;
+
+    fn name(&self) -> &'static str {
+        "mascot-mdp"
+    }
+
+    fn predict(
+        &mut self,
+        pc: u64,
+        store_seq: u64,
+        oracle: Option<&GroundTruth>,
+    ) -> (MemDepPrediction, MascotMeta) {
+        let (pred, meta) = self.inner.predict(pc, store_seq, oracle);
+        (pred.demote_bypass(), meta)
+    }
+
+    fn train(
+        &mut self,
+        pc: u64,
+        meta: MascotMeta,
+        predicted: MemDepPrediction,
+        outcome: &LoadOutcome,
+    ) {
+        self.inner.train(pc, meta, predicted, outcome);
+    }
+
+    fn on_branch(&mut self, event: &BranchEvent) {
+        self.inner.on_branch(event);
+    }
+
+    fn rewind_history(&mut self, recent: &[BranchEvent]) {
+        self.inner.rewind_history(recent);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.inner.storage_bits()
+    }
+
+    fn end_tuning_period(&mut self) {
+        self.inner.end_tuning_period();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::{BypassClass, LoadOutcome, ObservedDependence, StoreDistance};
+
+    #[test]
+    fn never_predicts_bypass() {
+        let cfg = crate::config::MascotConfig {
+            history_lengths: vec![0, 2],
+            table_entries: vec![64, 64],
+            tag_bits: vec![12, 12],
+            ..Default::default()
+        };
+        let mut p = MascotMdpOnly::new(cfg).unwrap();
+        let pc = 0x7700;
+        let out = LoadOutcome::dependent(ObservedDependence {
+            distance: StoreDistance::new(2).unwrap(),
+            class: BypassClass::DirectBypass,
+            store_pc: 0x100,
+            branches_between: 0,
+        });
+        for _ in 0..30 {
+            let (pred, meta) = p.predict(pc, 0, None);
+            assert!(!pred.is_bypass());
+            p.train(pc, meta, pred, &out);
+        }
+        // The inner predictor has saturated counters and would bypass...
+        assert!(p.inner().clone().predict(pc, 0, None).0.is_bypass());
+        // ...but the wrapper still demotes.
+        assert!(!p.predict(pc, 0, None).0.is_bypass());
+    }
+}

@@ -1,0 +1,271 @@
+//! Set-associative tagged prediction tables.
+//!
+//! MASCOT's tables are 4-way associative "to tolerate some conflicts between
+//! entries with the same index" (§IV-B). The same structure backs PHAST and
+//! NoSQ in the baselines crate, so the container is generic over the entry
+//! type; replacement *policy* stays with each predictor.
+
+use serde::{Deserialize, Serialize};
+
+/// An entry that can be matched by tag within a set.
+pub trait TaggedEntry {
+    /// The entry's partial tag.
+    fn tag(&self) -> u64;
+}
+
+/// A set-associative table of optional tagged entries.
+///
+/// Slots are `Option<E>`: `None` is an invalid (never-allocated) way.
+///
+/// # Examples
+///
+/// ```
+/// use mascot::table::{AssocTable, TaggedEntry};
+///
+/// #[derive(Debug, Clone)]
+/// struct E { tag: u64, payload: u32 }
+/// impl TaggedEntry for E { fn tag(&self) -> u64 { self.tag } }
+///
+/// let mut t: AssocTable<E> = AssocTable::new(16, 4);
+/// assert!(t.find(3, 0x7).is_none());
+/// t.try_insert(3, E { tag: 0x7, payload: 9 }, |_| false).unwrap();
+/// assert_eq!(t.find(3, 0x7).unwrap().1.payload, 9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssocTable<E> {
+    sets: usize,
+    assoc: usize,
+    slots: Vec<Option<E>>,
+}
+
+impl<E: TaggedEntry> AssocTable<E> {
+    /// Creates an empty table with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `assoc` is zero.
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(assoc > 0, "associativity must be non-zero");
+        Self {
+            sets,
+            assoc,
+            slots: (0..sets * assoc).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Ways per set.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Total slot count (`sets * assoc`).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `log2(sets)`, the number of index bits this table consumes.
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Flat slot number for `(index, way)`, usable as a key into parallel
+    /// side arrays (e.g. the tuning accumulators).
+    #[inline]
+    pub fn slot_id(&self, index: u64, way: usize) -> usize {
+        debug_assert!((index as usize) < self.sets && way < self.assoc);
+        index as usize * self.assoc + way
+    }
+
+    #[inline]
+    fn set_range(&self, index: u64) -> std::ops::Range<usize> {
+        let base = (index as usize & (self.sets - 1)) * self.assoc;
+        base..base + self.assoc
+    }
+
+    /// Finds the entry with `tag` in set `index`.
+    #[inline]
+    pub fn find(&self, index: u64, tag: u64) -> Option<(usize, &E)> {
+        let range = self.set_range(index);
+        self.slots[range]
+            .iter()
+            .enumerate()
+            .find_map(|(way, slot)| match slot {
+                Some(e) if e.tag() == tag => Some((way, e)),
+                _ => None,
+            })
+    }
+
+    /// Mutable variant of [`Self::find`].
+    #[inline]
+    pub fn find_mut(&mut self, index: u64, tag: u64) -> Option<(usize, &mut E)> {
+        let range = self.set_range(index);
+        self.slots[range]
+            .iter_mut()
+            .enumerate()
+            .find_map(|(way, slot)| match slot {
+                Some(e) if e.tag() == tag => Some((way, e)),
+                _ => None,
+            })
+    }
+
+    /// Immutable view of one set's ways.
+    pub fn set(&self, index: u64) -> &[Option<E>] {
+        &self.slots[self.set_range(index)]
+    }
+
+    /// Mutable view of one set's ways (for custom replacement policies).
+    pub fn set_mut(&mut self, index: u64) -> &mut [Option<E>] {
+        let range = self.set_range(index);
+        &mut self.slots[range]
+    }
+
+    /// Inserts `entry` into set `index`, preferring an invalid way, then the
+    /// first way for which `replaceable` returns true. Returns the way used,
+    /// or `None` (entry dropped) if the set is full of irreplaceable entries.
+    pub fn try_insert<F>(&mut self, index: u64, entry: E, replaceable: F) -> Option<usize>
+    where
+        F: Fn(&E) -> bool,
+    {
+        let set = self.set_mut(index);
+        if let Some(way) = set.iter().position(Option::is_none) {
+            set[way] = Some(entry);
+            return Some(way);
+        }
+        if let Some(way) = set
+            .iter()
+            .position(|slot| slot.as_ref().map(&replaceable).unwrap_or(false))
+        {
+            set[way] = Some(entry);
+            return Some(way);
+        }
+        None
+    }
+
+    /// Iterates all occupied slots as `(slot_id, &entry)`.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &E)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|e| (id, e)))
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Clears every slot.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct E {
+        tag: u64,
+        v: u32,
+        locked: bool,
+    }
+
+    impl TaggedEntry for E {
+        fn tag(&self) -> u64 {
+            self.tag
+        }
+    }
+
+    fn e(tag: u64, v: u32) -> E {
+        E {
+            tag,
+            v,
+            locked: false,
+        }
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut t: AssocTable<E> = AssocTable::new(8, 4);
+        assert_eq!(t.try_insert(5, e(0xaa, 1), |_| false), Some(0));
+        let (way, found) = t.find(5, 0xaa).unwrap();
+        assert_eq!(way, 0);
+        assert_eq!(found.v, 1);
+        assert!(t.find(5, 0xbb).is_none());
+        assert!(t.find(4, 0xaa).is_none());
+    }
+
+    #[test]
+    fn fills_ways_then_respects_replaceability() {
+        let mut t: AssocTable<E> = AssocTable::new(2, 4);
+        for i in 0..4 {
+            assert!(t.try_insert(0, e(i, i as u32), |_| false).is_some());
+        }
+        // Set full, nothing replaceable.
+        assert_eq!(t.try_insert(0, e(9, 9), |_| false), None);
+        assert_eq!(t.occupancy(), 4);
+        // Now allow replacing entries with tag 2.
+        let way = t.try_insert(0, e(9, 9), |x| x.tag == 2).unwrap();
+        assert_eq!(way, 2);
+        assert!(t.find(0, 2).is_none());
+        assert_eq!(t.find(0, 9).unwrap().1.v, 9);
+    }
+
+    #[test]
+    fn index_wraps_by_mask() {
+        let mut t: AssocTable<E> = AssocTable::new(4, 2);
+        t.try_insert(1, e(7, 7), |_| false).unwrap();
+        // Index 5 aliases to set 1 for a 4-set table.
+        assert!(t.find(5, 7).is_some());
+    }
+
+    #[test]
+    fn find_mut_allows_in_place_update() {
+        let mut t: AssocTable<E> = AssocTable::new(4, 2);
+        t.try_insert(2, e(3, 10), |_| false).unwrap();
+        t.find_mut(2, 3).unwrap().1.v = 99;
+        assert_eq!(t.find(2, 3).unwrap().1.v, 99);
+    }
+
+    #[test]
+    fn slot_ids_are_unique_and_dense() {
+        let t: AssocTable<E> = AssocTable::new(4, 4);
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..4u64 {
+            for way in 0..4usize {
+                assert!(seen.insert(t.slot_id(idx, way)));
+            }
+        }
+        assert_eq!(seen.len(), t.capacity());
+        assert!(seen.iter().all(|&id| id < t.capacity()));
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t: AssocTable<E> = AssocTable::new(4, 2);
+        t.try_insert(0, e(1, 1), |_| false);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn index_bits_matches_sets() {
+        let t: AssocTable<E> = AssocTable::new(128, 4);
+        assert_eq!(t.index_bits(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _: AssocTable<E> = AssocTable::new(3, 4);
+    }
+}

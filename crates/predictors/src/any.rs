@@ -1,0 +1,289 @@
+//! Type-erased predictor dispatch for the benchmark harness.
+//!
+//! [`MemDepPredictor`] has an associated `Meta` type, so the simulator is
+//! generic over the predictor. The harness, however, wants to iterate over a
+//! runtime list of predictor kinds; [`AnyPredictor`] wraps every evaluated
+//! predictor behind a single enum with a unified [`AnyMeta`].
+
+use mascot::history::BranchEvent;
+use mascot::mdp_only::MascotMdpOnly;
+use mascot::prediction::{GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction};
+use mascot::predictor::{Mascot, MascotMeta};
+use serde::{Deserialize, Serialize};
+
+use crate::mdp_tage::{MdpTage, MdpTageMeta};
+use crate::nosq::{NoSq, NoSqMeta};
+use crate::oracle::{PerfectMdp, PerfectMdpSmb};
+use crate::phast::{Phast, PhastMeta};
+use crate::store_sets::StoreSets;
+
+/// Metadata variants for [`AnyPredictor`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum AnyMeta {
+    /// MASCOT-family metadata.
+    Mascot(MascotMeta),
+    /// PHAST metadata.
+    Phast(PhastMeta),
+    /// NoSQ metadata.
+    NoSq(NoSqMeta),
+    /// MDP-TAGE metadata.
+    MdpTage(MdpTageMeta),
+    /// Metadata-free predictors (Store Sets, oracles).
+    Unit,
+}
+
+/// A runtime-selected predictor, wrapping every kind evaluated in §VI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum AnyPredictor {
+    /// MASCOT (MDP + SMB), or the Fig. 11 ablation when built without
+    /// non-dependence allocation.
+    Mascot(Mascot),
+    /// MASCOT used for MDP only (Fig. 9).
+    MascotMdp(MascotMdpOnly),
+    /// PHAST (Kim & Ros 2024).
+    Phast(Phast),
+    /// NoSQ-style GShare MDP/SMB predictor.
+    NoSq(NoSq),
+    /// Historical MDP-TAGE baseline (§II).
+    MdpTage(MdpTage),
+    /// Store Sets (Chrysos & Emer 1998).
+    StoreSets(StoreSets),
+    /// Perfect memory-dependence oracle (no bypassing).
+    PerfectMdp(PerfectMdp),
+    /// Perfect memory-dependence + bypassing oracle.
+    PerfectMdpSmb(PerfectMdpSmb),
+}
+
+impl AnyPredictor {
+    /// The wrapped MASCOT instance, if this is a MASCOT-family predictor
+    /// (used by the Figs. 13–14 tuning reports).
+    pub fn as_mascot(&self) -> Option<&Mascot> {
+        match self {
+            AnyPredictor::Mascot(m) => Some(m),
+            AnyPredictor::MascotMdp(m) => Some(m.inner()),
+            _ => None,
+        }
+    }
+}
+
+impl MemDepPredictor for AnyPredictor {
+    type Meta = AnyMeta;
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyPredictor::Mascot(p) => p.name(),
+            AnyPredictor::MascotMdp(p) => p.name(),
+            AnyPredictor::Phast(p) => p.name(),
+            AnyPredictor::NoSq(p) => p.name(),
+            AnyPredictor::MdpTage(p) => p.name(),
+            AnyPredictor::StoreSets(p) => p.name(),
+            AnyPredictor::PerfectMdp(p) => p.name(),
+            AnyPredictor::PerfectMdpSmb(p) => p.name(),
+        }
+    }
+
+    fn predict(
+        &mut self,
+        pc: u64,
+        store_seq: u64,
+        oracle: Option<&GroundTruth>,
+    ) -> (MemDepPrediction, AnyMeta) {
+        match self {
+            AnyPredictor::Mascot(p) => {
+                let (pred, m) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Mascot(m))
+            }
+            AnyPredictor::MascotMdp(p) => {
+                let (pred, m) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Mascot(m))
+            }
+            AnyPredictor::Phast(p) => {
+                let (pred, m) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Phast(m))
+            }
+            AnyPredictor::NoSq(p) => {
+                let (pred, m) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::NoSq(m))
+            }
+            AnyPredictor::MdpTage(p) => {
+                let (pred, m) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::MdpTage(m))
+            }
+            AnyPredictor::StoreSets(p) => {
+                let (pred, ()) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Unit)
+            }
+            AnyPredictor::PerfectMdp(p) => {
+                let (pred, ()) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Unit)
+            }
+            AnyPredictor::PerfectMdpSmb(p) => {
+                let (pred, ()) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Unit)
+            }
+        }
+    }
+
+    fn train(
+        &mut self,
+        pc: u64,
+        meta: AnyMeta,
+        predicted: MemDepPrediction,
+        outcome: &LoadOutcome,
+    ) {
+        match (self, meta) {
+            (AnyPredictor::Mascot(p), AnyMeta::Mascot(m)) => p.train(pc, m, predicted, outcome),
+            (AnyPredictor::MascotMdp(p), AnyMeta::Mascot(m)) => p.train(pc, m, predicted, outcome),
+            (AnyPredictor::Phast(p), AnyMeta::Phast(m)) => p.train(pc, m, predicted, outcome),
+            (AnyPredictor::NoSq(p), AnyMeta::NoSq(m)) => p.train(pc, m, predicted, outcome),
+            (AnyPredictor::MdpTage(p), AnyMeta::MdpTage(m)) => p.train(pc, m, predicted, outcome),
+            (AnyPredictor::StoreSets(p), AnyMeta::Unit) => p.train(pc, (), predicted, outcome),
+            (AnyPredictor::PerfectMdp(p), AnyMeta::Unit) => p.train(pc, (), predicted, outcome),
+            (AnyPredictor::PerfectMdpSmb(p), AnyMeta::Unit) => p.train(pc, (), predicted, outcome),
+            (this, meta) => {
+                debug_assert!(
+                    false,
+                    "metadata kind {meta:?} does not match predictor {}",
+                    this.name()
+                );
+            }
+        }
+    }
+
+    fn on_branch(&mut self, event: &BranchEvent) {
+        match self {
+            AnyPredictor::Mascot(p) => p.on_branch(event),
+            AnyPredictor::MascotMdp(p) => p.on_branch(event),
+            AnyPredictor::Phast(p) => p.on_branch(event),
+            AnyPredictor::NoSq(p) => p.on_branch(event),
+            AnyPredictor::MdpTage(p) => p.on_branch(event),
+            AnyPredictor::StoreSets(p) => p.on_branch(event),
+            AnyPredictor::PerfectMdp(p) => p.on_branch(event),
+            AnyPredictor::PerfectMdpSmb(p) => p.on_branch(event),
+        }
+    }
+
+    fn rewind_history(&mut self, recent: &[BranchEvent]) {
+        match self {
+            AnyPredictor::Mascot(p) => p.rewind_history(recent),
+            AnyPredictor::MascotMdp(p) => p.rewind_history(recent),
+            AnyPredictor::Phast(p) => p.rewind_history(recent),
+            AnyPredictor::NoSq(p) => p.rewind_history(recent),
+            AnyPredictor::MdpTage(p) => p.rewind_history(recent),
+            AnyPredictor::StoreSets(p) => p.rewind_history(recent),
+            AnyPredictor::PerfectMdp(p) => p.rewind_history(recent),
+            AnyPredictor::PerfectMdpSmb(p) => p.rewind_history(recent),
+        }
+    }
+
+    fn predict_store_wait(&mut self, pc: u64, store_seq: u64) -> Option<mascot::StoreDistance> {
+        match self {
+            AnyPredictor::Mascot(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::MascotMdp(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::Phast(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::NoSq(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::MdpTage(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::StoreSets(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::PerfectMdp(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::PerfectMdpSmb(p) => p.predict_store_wait(pc, store_seq),
+        }
+    }
+
+    fn on_store_dispatch(&mut self, pc: u64, store_seq: u64) {
+        match self {
+            AnyPredictor::Mascot(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::MascotMdp(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::Phast(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::NoSq(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::MdpTage(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::StoreSets(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::PerfectMdp(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::PerfectMdpSmb(p) => p.on_store_dispatch(pc, store_seq),
+        }
+    }
+
+    fn bypass_supports_offset(&self) -> bool {
+        match self {
+            AnyPredictor::Mascot(p) => p.bypass_supports_offset(),
+            AnyPredictor::MascotMdp(p) => p.bypass_supports_offset(),
+            AnyPredictor::Phast(p) => p.bypass_supports_offset(),
+            AnyPredictor::NoSq(p) => p.bypass_supports_offset(),
+            AnyPredictor::MdpTage(p) => p.bypass_supports_offset(),
+            AnyPredictor::StoreSets(p) => p.bypass_supports_offset(),
+            AnyPredictor::PerfectMdp(p) => p.bypass_supports_offset(),
+            AnyPredictor::PerfectMdpSmb(p) => p.bypass_supports_offset(),
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        match self {
+            AnyPredictor::Mascot(p) => p.storage_bits(),
+            AnyPredictor::MascotMdp(p) => p.storage_bits(),
+            AnyPredictor::Phast(p) => p.storage_bits(),
+            AnyPredictor::NoSq(p) => p.storage_bits(),
+            AnyPredictor::MdpTage(p) => p.storage_bits(),
+            AnyPredictor::StoreSets(p) => p.storage_bits(),
+            AnyPredictor::PerfectMdp(p) => p.storage_bits(),
+            AnyPredictor::PerfectMdpSmb(p) => p.storage_bits(),
+        }
+    }
+
+    fn end_tuning_period(&mut self) {
+        match self {
+            AnyPredictor::Mascot(p) => p.end_tuning_period(),
+            AnyPredictor::MascotMdp(p) => p.end_tuning_period(),
+            AnyPredictor::Phast(p) => p.end_tuning_period(),
+            AnyPredictor::NoSq(p) => p.end_tuning_period(),
+            AnyPredictor::MdpTage(p) => p.end_tuning_period(),
+            AnyPredictor::StoreSets(p) => p.end_tuning_period(),
+            AnyPredictor::PerfectMdp(p) => p.end_tuning_period(),
+            AnyPredictor::PerfectMdpSmb(p) => p.end_tuning_period(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot::config::MascotConfig;
+
+    #[test]
+    fn names_are_distinct() {
+        let ps = [
+            AnyPredictor::Mascot(Mascot::new(MascotConfig::default()).unwrap()),
+            AnyPredictor::MascotMdp(MascotMdpOnly::new(MascotConfig::default()).unwrap()),
+            AnyPredictor::Phast(Phast::default()),
+            AnyPredictor::NoSq(NoSq::default()),
+            AnyPredictor::StoreSets(StoreSets::default()),
+            AnyPredictor::PerfectMdp(PerfectMdp::new()),
+            AnyPredictor::PerfectMdpSmb(PerfectMdpSmb::new()),
+        ];
+        let names: std::collections::HashSet<_> = ps.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), ps.len());
+    }
+
+    #[test]
+    fn dispatch_roundtrip() {
+        let mut p = AnyPredictor::Phast(Phast::default());
+        let (pred, meta) = p.predict(0x100, 0, None);
+        assert_eq!(pred, MemDepPrediction::NoDependence);
+        p.train(0x100, meta, pred, &LoadOutcome::independent());
+    }
+
+    #[test]
+    fn ablation_is_named_through_any() {
+        let p = AnyPredictor::Mascot(
+            Mascot::without_non_dependence_allocation(MascotConfig::default()).unwrap(),
+        );
+        assert_eq!(p.name(), "tage-no-nd");
+    }
+
+    #[test]
+    fn as_mascot_exposes_family_members() {
+        let m = AnyPredictor::Mascot(Mascot::new(MascotConfig::default()).unwrap());
+        assert!(m.as_mascot().is_some());
+        let p = AnyPredictor::Phast(Phast::default());
+        assert!(p.as_mascot().is_none());
+    }
+}

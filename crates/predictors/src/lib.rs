@@ -1,0 +1,33 @@
+//! Baseline memory-dependence and bypassing predictors evaluated against
+//! MASCOT in §VI of the paper, plus oracles and runtime dispatch.
+//!
+//! * [`StoreSets`] — Chrysos & Emer's Store Sets (18.5 KB, Table II).
+//! * [`NoSq`] — a NoSQ-style GShare MDP/SMB predictor (19 KB).
+//! * [`Phast`] — Kim & Ros's PHAST (14.5 KB), the state-of-the-art MDP
+//!   baseline.
+//! * [`MdpTage`] — the historical Perais/Seznec TAGE-for-MDP augmentation
+//!   (§II), with its 3-bit distance and single usefulness bit.
+//! * [`PerfectMdp`] / [`PerfectMdpSmb`] — trace-oracle baselines used for
+//!   normalisation.
+//! * [`AnyPredictor`] — enum dispatch over every predictor kind for the
+//!   benchmark harness.
+//!
+//! The Fig. 11 ablation ("TAGE without non-dependence allocation") is
+//! constructed via [`mascot::Mascot::without_non_dependence_allocation`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod any;
+pub mod mdp_tage;
+pub mod nosq;
+pub mod oracle;
+pub mod phast;
+pub mod store_sets;
+
+pub use any::{AnyMeta, AnyPredictor};
+pub use mdp_tage::{MdpTage, MdpTageConfig, MdpTageMeta};
+pub use nosq::{NoSq, NoSqConfig, NoSqMeta};
+pub use oracle::{PerfectMdp, PerfectMdpSmb};
+pub use phast::{Phast, PhastConfig, PhastMeta};
+pub use store_sets::{StoreSets, StoreSetsConfig};

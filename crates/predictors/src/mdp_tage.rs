@@ -1,0 +1,351 @@
+//! MDP-TAGE (Perais & Seznec; described in §II of the MASCOT paper): the
+//! minimal TAGE-for-memory-dependence augmentation that predates PHAST.
+//!
+//! A TAGE branch predictor is repurposed by using its 3-bit saturating
+//! counter as the *store distance* and adding a single usefulness bit `u`:
+//! "If u is not 0, the entry can be used for predicting a memory
+//! dependence." The 3-bit distance limits predictions to the seven nearest
+//! stores, and the single-bit confidence makes entries fragile — both
+//! weaknesses MASCOT's 7-bit distance and richer counters address. Included
+//! as a historical baseline beyond the paper's Table II set.
+
+use mascot::history::{BranchEvent, GlobalHistory, TableHasher};
+use mascot::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
+};
+use mascot::predictor::TableLookup;
+use mascot::table::{AssocTable, TaggedEntry};
+use serde::{Deserialize, Serialize};
+
+/// Maximum tables supported by the fixed-size metadata.
+pub const MAX_TABLES: usize = 16;
+
+/// Configuration for [`MdpTage`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MdpTageConfig {
+    /// History length per table (branches), starting at 0.
+    pub history_lengths: Vec<u32>,
+    /// Entries per table.
+    pub table_entries: Vec<u32>,
+    /// Tag width in bits.
+    pub tag_bits: u8,
+    /// Associativity.
+    pub associativity: u32,
+}
+
+impl Default for MdpTageConfig {
+    fn default() -> Self {
+        // Sized comparably to the Table II predictors.
+        Self {
+            history_lengths: vec![0, 2, 4, 8, 16, 32, 64, 128],
+            table_entries: vec![512; 8],
+            tag_bits: 16,
+            associativity: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct MdpTageEntry {
+    tag: u64,
+    /// The repurposed 3-bit counter: store distance 1..=7.
+    distance: u8,
+    /// Single usefulness bit.
+    useful: bool,
+}
+
+impl TaggedEntry for MdpTageEntry {
+    fn tag(&self) -> u64 {
+        self.tag
+    }
+}
+
+/// Per-prediction metadata for [`MdpTage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MdpTageMeta {
+    lookups: [TableLookup; MAX_TABLES],
+    num_tables: u8,
+    provider: Option<u8>,
+}
+
+/// The MDP-TAGE predictor.
+///
+/// # Examples
+///
+/// ```
+/// use mascot_predictors::MdpTage;
+/// use mascot::MemDepPredictor;
+///
+/// let p = MdpTage::default();
+/// // 4K entries × (16-bit tag + 3-bit distance + 1 u bit) = 10 KiB.
+/// assert!((p.storage_kib() - 10.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdpTage {
+    cfg: MdpTageConfig,
+    tables: Vec<AssocTable<MdpTageEntry>>,
+    hashers: Vec<TableHasher>,
+    history: GlobalHistory,
+}
+
+impl Default for MdpTage {
+    fn default() -> Self {
+        Self::new(MdpTageConfig::default())
+    }
+}
+
+impl MdpTage {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-table vectors disagree in length, exceed
+    /// [`MAX_TABLES`], or yield non-power-of-two set counts.
+    pub fn new(cfg: MdpTageConfig) -> Self {
+        assert_eq!(
+            cfg.history_lengths.len(),
+            cfg.table_entries.len(),
+            "history/table shape mismatch"
+        );
+        assert!(cfg.history_lengths.len() <= MAX_TABLES, "too many tables");
+        let tables: Vec<_> = cfg
+            .table_entries
+            .iter()
+            .map(|&e| AssocTable::new((e / cfg.associativity) as usize, cfg.associativity as usize))
+            .collect();
+        let hashers: Vec<_> = cfg
+            .history_lengths
+            .iter()
+            .zip(&tables)
+            .map(|(&h, t)| TableHasher::new(h, t.index_bits(), u32::from(cfg.tag_bits)))
+            .collect();
+        let max_hist = *cfg.history_lengths.last().expect("at least one table") as usize;
+        Self {
+            tables,
+            hashers,
+            history: GlobalHistory::new((max_hist * 2).max(64)),
+            cfg,
+        }
+    }
+
+    fn compute_lookups(&self, pc: u64) -> ([TableLookup; MAX_TABLES], u8) {
+        let mut lookups = [TableLookup::default(); MAX_TABLES];
+        for (i, h) in self.hashers.iter().enumerate() {
+            lookups[i] = TableLookup {
+                index: h.index(pc) as u32,
+                tag: h.tag(pc) as u32,
+            };
+        }
+        (lookups, self.hashers.len() as u8)
+    }
+
+    fn allocate(&mut self, meta: &MdpTageMeta, start: usize, distance: u8) {
+        for t in start..self.tables.len() {
+            let lk = meta.lookups[t];
+            let entry = MdpTageEntry {
+                tag: u64::from(lk.tag),
+                distance,
+                useful: true,
+            };
+            if self.tables[t]
+                .try_insert(u64::from(lk.index), entry, |e| !e.useful)
+                .is_some()
+            {
+                return;
+            }
+            for slot in self.tables[t].set_mut(u64::from(lk.index)).iter_mut().flatten() {
+                slot.useful = false;
+            }
+        }
+    }
+}
+
+impl MemDepPredictor for MdpTage {
+    type Meta = MdpTageMeta;
+
+    fn name(&self) -> &'static str {
+        "mdp-tage"
+    }
+
+    fn predict(
+        &mut self,
+        pc: u64,
+        _store_seq: u64,
+        _oracle: Option<&GroundTruth>,
+    ) -> (MemDepPrediction, MdpTageMeta) {
+        let (lookups, num_tables) = self.compute_lookups(pc);
+        let mut provider = None;
+        let mut prediction = MemDepPrediction::NoDependence;
+        for t in (0..self.tables.len()).rev() {
+            let lk = lookups[t];
+            if let Some((_, e)) = self.tables[t].find(u64::from(lk.index), u64::from(lk.tag)) {
+                provider = Some(t as u8);
+                // Only useful entries may predict ("if u is not 0").
+                if e.useful {
+                    let distance =
+                        StoreDistance::new(u32::from(e.distance)).expect("1..=7 in range");
+                    prediction = MemDepPrediction::Dependence { distance };
+                }
+                break;
+            }
+        }
+        (
+            prediction,
+            MdpTageMeta {
+                lookups,
+                num_tables,
+                provider,
+            },
+        )
+    }
+
+    fn train(
+        &mut self,
+        _pc: u64,
+        meta: MdpTageMeta,
+        predicted: MemDepPrediction,
+        outcome: &LoadOutcome,
+    ) {
+        let provider = meta.provider.map(usize::from);
+        // Only near dependencies are encodable in the 3-bit field.
+        let encodable = outcome
+            .dependence
+            .filter(|d| (1..=7).contains(&d.distance.get()));
+        match encodable {
+            Some(dep) => {
+                if predicted.distance() == Some(dep.distance) {
+                    if let Some(p) = provider {
+                        let lk = meta.lookups[p];
+                        if let Some((_, e)) =
+                            self.tables[p].find_mut(u64::from(lk.index), u64::from(lk.tag))
+                        {
+                            e.useful = true;
+                        }
+                    }
+                } else {
+                    if let Some(p) = provider {
+                        let lk = meta.lookups[p];
+                        if let Some((_, e)) =
+                            self.tables[p].find_mut(u64::from(lk.index), u64::from(lk.tag))
+                        {
+                            e.useful = false;
+                        }
+                    }
+                    let start = provider.map_or(0, |p| p + 1);
+                    self.allocate(&meta, start, dep.distance.get());
+                }
+            }
+            None => {
+                // False dependence (or unencodable distance): clear the
+                // single confidence bit — the scheme's whole unlearning
+                // mechanism, and its weakness (§III).
+                if predicted.is_dependence() {
+                    if let Some(p) = provider {
+                        let lk = meta.lookups[p];
+                        if let Some((_, e)) =
+                            self.tables[p].find_mut(u64::from(lk.index), u64::from(lk.tag))
+                        {
+                            e.useful = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_branch(&mut self, event: &BranchEvent) {
+        for h in &mut self.hashers {
+            h.on_branch(&self.history, event);
+        }
+        self.history.push(*event);
+    }
+
+    fn rewind_history(&mut self, recent: &[BranchEvent]) {
+        self.history.replace(recent);
+        for h in &mut self.hashers {
+            h.recompute(&self.history);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // tag + 3-bit distance + 1 usefulness bit.
+        let per_entry = u64::from(self.cfg.tag_bits) + 3 + 1;
+        self.cfg.table_entries.iter().map(|&e| u64::from(e) * per_entry).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot::prediction::{BypassClass, ObservedDependence};
+
+    fn dep(distance: u32) -> LoadOutcome {
+        LoadOutcome::dependent(ObservedDependence {
+            distance: StoreDistance::new(distance).unwrap(),
+            class: BypassClass::DirectBypass,
+            store_pc: 0x900,
+            branches_between: 0,
+        })
+    }
+
+    #[test]
+    fn storage_is_10kib() {
+        assert_eq!(MdpTage::default().storage_bits(), 4096 * 20);
+    }
+
+    #[test]
+    fn learns_near_dependence() {
+        let mut p = MdpTage::default();
+        let pc = 0x2000;
+        let (pr, m) = p.predict(pc, 0, None);
+        assert_eq!(pr, MemDepPrediction::NoDependence);
+        p.train(pc, m, pr, &dep(3));
+        let (pr, _) = p.predict(pc, 0, None);
+        assert_eq!(pr.distance().unwrap().get(), 3);
+    }
+
+    #[test]
+    fn cannot_encode_far_dependencies() {
+        let mut p = MdpTage::default();
+        let pc = 0x2000;
+        for _ in 0..10 {
+            let (pr, m) = p.predict(pc, 0, None);
+            p.train(pc, m, pr, &dep(20)); // beyond the 3-bit field
+        }
+        assert_eq!(
+            p.predict(pc, 0, None).0,
+            MemDepPrediction::NoDependence,
+            "distance 20 does not fit a 3-bit field"
+        );
+    }
+
+    #[test]
+    fn single_bit_confidence_flips_on_one_false_dependence() {
+        let mut p = MdpTage::default();
+        let pc = 0x2000;
+        let (pr, m) = p.predict(pc, 0, None);
+        p.train(pc, m, pr, &dep(2));
+        assert!(p.predict(pc, 0, None).0.is_dependence());
+        // One false dependence disables the entry entirely.
+        let (pr, m) = p.predict(pc, 0, None);
+        p.train(pc, m, pr, &LoadOutcome::independent());
+        assert_eq!(p.predict(pc, 0, None).0, MemDepPrediction::NoDependence);
+        // ...and one correct outcome re-arms it (the entry persists).
+        let (pr, m) = p.predict(pc, 0, None);
+        p.train(pc, m, pr, &dep(2));
+        let _ = pr;
+        // The provider matched but was unuseful; a conflicting distance of 2
+        // re-allocates/re-arms, so the dependence comes back.
+        assert!(p.predict(pc, 0, None).0.is_dependence());
+    }
+
+    #[test]
+    fn never_bypasses() {
+        let mut p = MdpTage::default();
+        for i in 0..50u64 {
+            let (pr, m) = p.predict(0x100, i, None);
+            assert!(!pr.is_bypass());
+            p.train(0x100, m, pr, &dep(1));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! PHAST context-sensitive memory-dependence predictor (Kim & Ros, HPCA
+//! 2024), as configured in Table II of the MASCOT paper.
+//!
+//! PHAST organises entries into eight 4-way tables with geometrically
+//! increasing global-history lengths, looked up in parallel with the
+//! longest-history hit providing the prediction. Entries carry a 16-bit
+//! tag, 4-bit usefulness counter, 7-bit distance and 2 LRU bits (29 bits;
+//! 4 K entries = 14.5 KB).
+//!
+//! Its distinctive allocation policy picks the destination table by the
+//! number of branches *between* the conflicting store and the load: the
+//! smallest history window that covers the whole load–store span. Unlike
+//! MASCOT it records only dependencies — a false dependence merely
+//! decrements the provider's usefulness.
+
+use mascot::history::{BranchEvent, GlobalHistory, TableHasher};
+use mascot::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
+};
+use mascot::predictor::TableLookup;
+use mascot::table::{AssocTable, TaggedEntry};
+use mascot_stats::SaturatingCounter;
+use serde::{Deserialize, Serialize};
+
+/// Maximum tables supported by the fixed-size metadata.
+pub const MAX_TABLES: usize = 16;
+
+/// Configuration for [`Phast`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhastConfig {
+    /// History length per table (branches), starting at 0.
+    pub history_lengths: Vec<u32>,
+    /// Entries per table.
+    pub table_entries: Vec<u32>,
+    /// Tag width (16 bits in Table II).
+    pub tag_bits: u8,
+    /// Usefulness counter width (4 bits in Table II).
+    pub usefulness_bits: u8,
+    /// Associativity (4).
+    pub associativity: u32,
+    /// Initial usefulness of a freshly allocated entry.
+    pub alloc_usefulness: u8,
+}
+
+impl Default for PhastConfig {
+    fn default() -> Self {
+        Self {
+            history_lengths: vec![0, 2, 4, 8, 16, 32, 64, 128],
+            table_entries: vec![512; 8],
+            tag_bits: 16,
+            usefulness_bits: 4,
+            associativity: 4,
+            alloc_usefulness: 7,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct PhastEntry {
+    tag: u64,
+    distance: u8,
+    usefulness: SaturatingCounter,
+    lru: u8,
+}
+
+impl TaggedEntry for PhastEntry {
+    fn tag(&self) -> u64 {
+        self.tag
+    }
+}
+
+/// Per-prediction metadata for [`Phast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhastMeta {
+    lookups: [TableLookup; MAX_TABLES],
+    num_tables: u8,
+    provider: Option<u8>,
+}
+
+impl PhastMeta {
+    fn lookup(&self, table: usize) -> TableLookup {
+        debug_assert!(table < usize::from(self.num_tables));
+        self.lookups[table]
+    }
+}
+
+/// The PHAST predictor.
+///
+/// # Examples
+///
+/// ```
+/// use mascot_predictors::Phast;
+/// use mascot::MemDepPredictor;
+///
+/// let p = Phast::default();
+/// assert!((p.storage_kib() - 14.5).abs() < 0.01); // Table II
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Phast {
+    cfg: PhastConfig,
+    tables: Vec<AssocTable<PhastEntry>>,
+    hashers: Vec<TableHasher>,
+    history: GlobalHistory,
+}
+
+impl Default for Phast {
+    fn default() -> Self {
+        Self::new(PhastConfig::default())
+    }
+}
+
+impl Phast {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-table vectors disagree in length, exceed
+    /// [`MAX_TABLES`], or yield non-power-of-two set counts.
+    pub fn new(cfg: PhastConfig) -> Self {
+        assert_eq!(
+            cfg.history_lengths.len(),
+            cfg.table_entries.len(),
+            "history/table shape mismatch"
+        );
+        assert!(cfg.history_lengths.len() <= MAX_TABLES, "too many tables");
+        let tables: Vec<_> = cfg
+            .table_entries
+            .iter()
+            .map(|&e| AssocTable::new((e / cfg.associativity) as usize, cfg.associativity as usize))
+            .collect();
+        let hashers: Vec<_> = cfg
+            .history_lengths
+            .iter()
+            .zip(&tables)
+            .map(|(&h, t)| TableHasher::new(h, t.index_bits(), u32::from(cfg.tag_bits)))
+            .collect();
+        let max_hist = *cfg.history_lengths.last().expect("at least one table") as usize;
+        Self {
+            tables,
+            hashers,
+            history: GlobalHistory::new((max_hist * 2).max(64)),
+            cfg,
+        }
+    }
+
+    fn compute_lookups(&self, pc: u64) -> ([TableLookup; MAX_TABLES], u8) {
+        let mut lookups = [TableLookup::default(); MAX_TABLES];
+        for (i, h) in self.hashers.iter().enumerate() {
+            lookups[i] = TableLookup {
+                index: h.index(pc) as u32,
+                tag: h.tag(pc) as u32,
+            };
+        }
+        (lookups, self.hashers.len() as u8)
+    }
+
+    /// The table whose history window covers `branches_between` branches:
+    /// PHAST's signature allocation rule.
+    fn table_for_span(&self, branches_between: u32) -> usize {
+        self.cfg
+            .history_lengths
+            .iter()
+            .position(|&h| h >= branches_between)
+            .unwrap_or(self.cfg.history_lengths.len() - 1)
+    }
+
+    fn touch_lru(table: &mut AssocTable<PhastEntry>, index: u64, hit_way: usize) {
+        for (way, slot) in table.set_mut(index).iter_mut().enumerate() {
+            if let Some(e) = slot {
+                if way == hit_way {
+                    e.lru = 3;
+                } else {
+                    e.lru = e.lru.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Installs a dependence at the span-selected table. Existing entries
+    /// are retargeted; otherwise the victim is an invalid way, else the LRU
+    /// way among zero-usefulness entries. If no way is replaceable, all ways
+    /// decay (so stale sets eventually open up).
+    fn allocate(&mut self, meta: &PhastMeta, branches_between: u32, distance: StoreDistance) {
+        let t = self.table_for_span(branches_between);
+        let lk = meta.lookup(t);
+        let (index, tag) = (u64::from(lk.index), u64::from(lk.tag));
+        if let Some((way, e)) = self.tables[t].find_mut(index, tag) {
+            e.distance = distance.get();
+            e.usefulness.set(self.cfg.alloc_usefulness);
+            Self::touch_lru(&mut self.tables[t], index, way);
+            return;
+        }
+        let entry = PhastEntry {
+            tag,
+            distance: distance.get(),
+            usefulness: SaturatingCounter::new(self.cfg.usefulness_bits, self.cfg.alloc_usefulness),
+            lru: 3,
+        };
+        let set = self.tables[t].set_mut(index);
+        let victim = set.iter().position(Option::is_none).or_else(|| {
+            set.iter()
+                .enumerate()
+                .filter(|(_, s)| s.as_ref().is_some_and(|e| e.usefulness.is_zero()))
+                .min_by_key(|(_, s)| s.as_ref().map_or(0, |e| e.lru))
+                .map(|(w, _)| w)
+        });
+        match victim {
+            Some(w) => {
+                set[w] = Some(entry);
+                Self::touch_lru(&mut self.tables[t], index, w);
+            }
+            None => {
+                for slot in set.iter_mut().flatten() {
+                    slot.usefulness.decrement();
+                }
+            }
+        }
+    }
+}
+
+impl MemDepPredictor for Phast {
+    type Meta = PhastMeta;
+
+    fn name(&self) -> &'static str {
+        "phast"
+    }
+
+    fn predict(
+        &mut self,
+        pc: u64,
+        _store_seq: u64,
+        _oracle: Option<&GroundTruth>,
+    ) -> (MemDepPrediction, PhastMeta) {
+        let (lookups, num_tables) = self.compute_lookups(pc);
+        let mut provider = None;
+        let mut prediction = MemDepPrediction::NoDependence;
+        for t in (0..self.tables.len()).rev() {
+            let lk = lookups[t];
+            if let Some((way, e)) = self.tables[t].find(u64::from(lk.index), u64::from(lk.tag)) {
+                let distance =
+                    StoreDistance::new(u32::from(e.distance)).expect("stored distances valid");
+                provider = Some(t as u8);
+                prediction = MemDepPrediction::Dependence { distance };
+                Self::touch_lru(&mut self.tables[t], u64::from(lk.index), way);
+                break;
+            }
+        }
+        (
+            prediction,
+            PhastMeta {
+                lookups,
+                num_tables,
+                provider,
+            },
+        )
+    }
+
+    fn train(
+        &mut self,
+        _pc: u64,
+        meta: PhastMeta,
+        predicted: MemDepPrediction,
+        outcome: &LoadOutcome,
+    ) {
+        let provider = meta.provider.map(usize::from);
+        match outcome.dependence {
+            Some(dep) => {
+                if predicted.distance() == Some(dep.distance) {
+                    // Correct: reinforce.
+                    if let Some(p) = provider {
+                        let lk = meta.lookup(p);
+                        if let Some((_, e)) =
+                            self.tables[p].find_mut(u64::from(lk.index), u64::from(lk.tag))
+                        {
+                            e.usefulness.increment();
+                        }
+                    }
+                } else {
+                    // Missed or mis-targeted dependence: punish the provider
+                    // and install the pair at the span-selected table.
+                    if let Some(p) = provider {
+                        let lk = meta.lookup(p);
+                        if let Some((_, e)) =
+                            self.tables[p].find_mut(u64::from(lk.index), u64::from(lk.tag))
+                        {
+                            e.usefulness.decrement();
+                        }
+                    }
+                    self.allocate(&meta, dep.branches_between, dep.distance);
+                }
+            }
+            None => {
+                // False dependence: PHAST only decays confidence (no
+                // non-dependence entries — MASCOT's key difference).
+                if predicted.is_dependence() {
+                    if let Some(p) = provider {
+                        let lk = meta.lookup(p);
+                        if let Some((_, e)) =
+                            self.tables[p].find_mut(u64::from(lk.index), u64::from(lk.tag))
+                        {
+                            e.usefulness.decrement();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_branch(&mut self, event: &BranchEvent) {
+        for h in &mut self.hashers {
+            h.on_branch(&self.history, event);
+        }
+        self.history.push(*event);
+    }
+
+    fn rewind_history(&mut self, recent: &[BranchEvent]) {
+        self.history.replace(recent);
+        for h in &mut self.hashers {
+            h.recompute(&self.history);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Table II: 16-bit tag + 4-bit counter + 7-bit distance + 2-bit LRU.
+        let per_entry =
+            u64::from(self.cfg.tag_bits) + u64::from(self.cfg.usefulness_bits) + 7 + 2;
+        self.cfg.table_entries.iter().map(|&e| u64::from(e) * per_entry).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot::prediction::{BypassClass, ObservedDependence};
+
+    fn dep(distance: u32, branches_between: u32) -> LoadOutcome {
+        LoadOutcome::dependent(ObservedDependence {
+            distance: StoreDistance::new(distance).unwrap(),
+            class: BypassClass::MdpOnly,
+            store_pc: 0x2000,
+            branches_between,
+        })
+    }
+
+    #[test]
+    fn table_ii_size_is_14_5_kb() {
+        let p = Phast::default();
+        assert_eq!(p.storage_bits(), 4096 * 29);
+        assert!((p.storage_kib() - 14.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn never_predicts_bypass() {
+        let mut p = Phast::default();
+        let pc = 0x4000;
+        for _ in 0..50 {
+            let (pr, meta) = p.predict(pc, 0, None);
+            assert!(!pr.is_bypass());
+            p.train(pc, meta, pr, &dep(2, 0));
+        }
+        assert!(!p.predict(pc, 0, None).0.is_bypass());
+    }
+
+    #[test]
+    fn span_selects_allocation_table() {
+        let p = Phast::default();
+        assert_eq!(p.table_for_span(0), 0);
+        assert_eq!(p.table_for_span(1), 1);
+        assert_eq!(p.table_for_span(2), 1);
+        assert_eq!(p.table_for_span(3), 2);
+        assert_eq!(p.table_for_span(100), 7);
+        assert_eq!(p.table_for_span(1000), 7); // clamps to the last table
+    }
+
+    #[test]
+    fn learns_dependence_at_spanning_table() {
+        let mut p = Phast::default();
+        let pc = 0x4000;
+        // Span of 5 branches -> table 3 (history 8).
+        let (pr, meta) = p.predict(pc, 0, None);
+        p.train(pc, meta, pr, &dep(4, 5));
+        let (pred, meta) = p.predict(pc, 0, None);
+        assert_eq!(pred.distance().unwrap().get(), 4);
+        assert_eq!(meta.provider, Some(3));
+    }
+
+    #[test]
+    fn false_dependence_only_decays() {
+        let mut p = Phast::default();
+        let pc = 0x4000;
+        let (pr, meta) = p.predict(pc, 0, None);
+        p.train(pc, meta, pr, &dep(2, 0));
+        // A single false dependence must NOT unlearn the entry (4-bit
+        // counter allocated at 7).
+        let (pr, meta) = p.predict(pc, 0, None);
+        assert!(pr.is_dependence());
+        p.train(pc, meta, pr, &LoadOutcome::independent());
+        assert!(p.predict(pc, 0, None).0.is_dependence());
+    }
+
+    #[test]
+    fn repeated_false_dependencies_eventually_allow_eviction() {
+        let mut p = Phast::default();
+        let pc = 0x4000;
+        let (pr, meta) = p.predict(pc, 0, None);
+        p.train(pc, meta, pr, &dep(2, 0));
+        for _ in 0..8 {
+            let (pr, meta) = p.predict(pc, 0, None);
+            p.train(pc, meta, pr, &LoadOutcome::independent());
+        }
+        // Usefulness has decayed to zero; the entry still predicts (PHAST
+        // has no non-dependence state) but is now replaceable.
+        let t0 = &p.tables[0];
+        let any_zero = t0
+            .iter_occupied()
+            .any(|(_, e)| e.usefulness.is_zero());
+        assert!(any_zero);
+    }
+
+    #[test]
+    fn wrong_distance_retargets() {
+        let mut p = Phast::default();
+        let pc = 0x4000;
+        let (pr, meta) = p.predict(pc, 0, None);
+        p.train(pc, meta, pr, &dep(2, 0));
+        let (pr, meta) = p.predict(pc, 0, None);
+        p.train(pc, meta, pr, &dep(6, 0));
+        assert_eq!(p.predict(pc, 0, None).0.distance().unwrap().get(), 6);
+    }
+}

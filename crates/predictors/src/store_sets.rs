@@ -1,0 +1,319 @@
+//! Store Sets memory-dependence predictor (Chrysos & Emer, ISCA 1998).
+//!
+//! Two direct-mapped tables (Table II of the MASCOT paper): an 8 K-entry
+//! Store Set ID Table (SSIT) indexed by instruction PC holding 12-bit SSIDs,
+//! and a 4 K-entry Last Fetched Store Table (LFST) indexed by SSID holding
+//! the sequence number of the most recently dispatched store in the set.
+//! Total 18.5 KB.
+//!
+//! A load whose SSIT entry is valid looks up the LFST; if it names an
+//! in-flight store the load is predicted dependent on it. On a memory-order
+//! violation the load and store PCs are assigned to a common store set
+//! (merging existing sets toward the smaller SSID, per the original paper's
+//! "declarative" rules). The SSIT is cleared periodically, the classic
+//! remedy for stale sets.
+
+use mascot::history::BranchEvent;
+use mascot::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`StoreSets`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreSetsConfig {
+    /// SSIT entries (direct mapped; power of two). Table II uses 8192.
+    pub ssit_entries: usize,
+    /// LFST entries (direct mapped; power of two). Table II uses 4096.
+    pub lfst_entries: usize,
+    /// SSID width in bits (Table II: 12).
+    pub ssid_bits: u8,
+    /// Store-ID width in bits as accounted in Table II (10).
+    pub store_id_bits: u8,
+    /// Trainings between full SSIT invalidations (the classic cyclic
+    /// clearing that prevents sets from growing stale).
+    pub clear_interval: u64,
+}
+
+impl Default for StoreSetsConfig {
+    fn default() -> Self {
+        Self {
+            ssit_entries: 8192,
+            lfst_entries: 4096,
+            ssid_bits: 12,
+            store_id_bits: 10,
+            clear_interval: 500_000,
+        }
+    }
+}
+
+/// The Store Sets predictor.
+///
+/// # Examples
+///
+/// ```
+/// use mascot_predictors::StoreSets;
+/// use mascot::MemDepPredictor;
+///
+/// let p = StoreSets::default();
+/// assert!((p.storage_kib() - 18.5).abs() < 0.01); // Table II
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreSets {
+    cfg: StoreSetsConfig,
+    /// SSID per PC slot; `None` = invalid.
+    ssit: Vec<Option<u16>>,
+    /// Last-fetched-store sequence number per SSID; `None` = invalid.
+    lfst: Vec<Option<u64>>,
+    next_ssid: u16,
+    trains: u64,
+}
+
+impl Default for StoreSets {
+    fn default() -> Self {
+        Self::new(StoreSetsConfig::default())
+    }
+}
+
+impl StoreSets {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either table size is not a power of two.
+    pub fn new(cfg: StoreSetsConfig) -> Self {
+        assert!(cfg.ssit_entries.is_power_of_two(), "SSIT must be a power of two");
+        assert!(cfg.lfst_entries.is_power_of_two(), "LFST must be a power of two");
+        Self {
+            ssit: vec![None; cfg.ssit_entries],
+            lfst: vec![None; cfg.lfst_entries],
+            next_ssid: 0,
+            trains: 0,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn ssit_index(&self, pc: u64) -> usize {
+        let pc = pc >> 2;
+        (pc ^ (pc >> 13)) as usize & (self.cfg.ssit_entries - 1)
+    }
+
+    #[inline]
+    fn lfst_index(&self, ssid: u16) -> usize {
+        usize::from(ssid) & (self.cfg.lfst_entries - 1)
+    }
+
+    fn alloc_ssid(&mut self) -> u16 {
+        let ssid = self.next_ssid & ((1 << self.cfg.ssid_bits) - 1);
+        self.next_ssid = self.next_ssid.wrapping_add(1);
+        ssid
+    }
+
+    /// Assigns the load and store to a common store set, per the original
+    /// paper's merge rules (both into the smaller SSID when both assigned).
+    fn merge(&mut self, load_pc: u64, store_pc: u64) {
+        let li = self.ssit_index(load_pc);
+        let si = self.ssit_index(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let ssid = self.alloc_ssid();
+                self.ssit[li] = Some(ssid);
+                self.ssit[si] = Some(ssid);
+            }
+            (Some(ssid), None) => self.ssit[si] = Some(ssid),
+            (None, Some(ssid)) => self.ssit[li] = Some(ssid),
+            (Some(a), Some(b)) => {
+                let winner = a.min(b);
+                self.ssit[li] = Some(winner);
+                self.ssit[si] = Some(winner);
+            }
+        }
+    }
+
+    fn maybe_clear(&mut self) {
+        self.trains += 1;
+        if self.trains.is_multiple_of(self.cfg.clear_interval) {
+            self.ssit.fill(None);
+            self.lfst.fill(None);
+        }
+    }
+}
+
+impl MemDepPredictor for StoreSets {
+    type Meta = ();
+
+    fn name(&self) -> &'static str {
+        "store-sets"
+    }
+
+    fn predict(
+        &mut self,
+        pc: u64,
+        store_seq: u64,
+        _oracle: Option<&GroundTruth>,
+    ) -> (MemDepPrediction, ()) {
+        let prediction = self.ssit[self.ssit_index(pc)]
+            .and_then(|ssid| self.lfst[self.lfst_index(ssid)])
+            .and_then(|last_store| {
+                // Convert absolute store sequence to a distance; a stale
+                // pointer (store long retired) yields no prediction.
+                store_seq
+                    .checked_sub(last_store)
+                    .and_then(|d| StoreDistance::new(d as u32))
+            })
+            .map_or(MemDepPrediction::NoDependence, |distance| {
+                MemDepPrediction::Dependence { distance }
+            });
+        (prediction, ())
+    }
+
+    fn train(
+        &mut self,
+        pc: u64,
+        _meta: (),
+        predicted: MemDepPrediction,
+        outcome: &LoadOutcome,
+    ) {
+        self.maybe_clear();
+        match (predicted.is_dependence(), &outcome.dependence) {
+            // Missed or mis-targeted dependence: put the pair in one set.
+            (_, Some(dep)) if predicted.distance() != Some(dep.distance) => {
+                self.merge(pc, dep.store_pc);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_branch(&mut self, _event: &BranchEvent) {}
+
+    fn rewind_history(&mut self, _recent: &[BranchEvent]) {}
+
+    fn on_store_dispatch(&mut self, pc: u64, store_seq: u64) {
+        if let Some(ssid) = self.ssit[self.ssit_index(pc)] {
+            let idx = self.lfst_index(ssid);
+            self.lfst[idx] = Some(store_seq);
+        }
+    }
+
+    fn predict_store_wait(&mut self, pc: u64, store_seq: u64) -> Option<StoreDistance> {
+        // Stores in a set are serialised: each waits for the set's last
+        // fetched store (Chrysos & Emer; §V of the MASCOT paper).
+        let ssid = self.ssit[self.ssit_index(pc)]?;
+        let last = self.lfst[self.lfst_index(ssid)]?;
+        store_seq
+            .checked_sub(last)
+            .and_then(|d| StoreDistance::new(d as u32))
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Table II: SSIT entries of (1 valid + ssid) bits, LFST entries of
+        // (1 valid + store id) bits.
+        self.cfg.ssit_entries as u64 * (1 + u64::from(self.cfg.ssid_bits))
+            + self.cfg.lfst_entries as u64 * (1 + u64::from(self.cfg.store_id_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot::prediction::{BypassClass, ObservedDependence};
+
+    fn dep_at(distance: u32, store_pc: u64) -> LoadOutcome {
+        LoadOutcome::dependent(ObservedDependence {
+            distance: StoreDistance::new(distance).unwrap(),
+            class: BypassClass::MdpOnly,
+            store_pc,
+            branches_between: 0,
+        })
+    }
+
+    #[test]
+    fn table_ii_size() {
+        let p = StoreSets::default();
+        // 8K * 13 + 4K * 11 bits = 148,480 bits = 18.125 KiB ~ "18.5 KB".
+        assert_eq!(p.storage_bits(), 8192 * 13 + 4096 * 11);
+    }
+
+    #[test]
+    fn cold_predicts_independent() {
+        let mut p = StoreSets::default();
+        let (pred, _) = p.predict(0x100, 10, None);
+        assert_eq!(pred, MemDepPrediction::NoDependence);
+    }
+
+    #[test]
+    fn learns_pair_after_violation() {
+        let mut p = StoreSets::default();
+        let (load_pc, store_pc) = (0x1000, 0x2000);
+        // Violation observed: store was 1 back at store_seq 5.
+        let (pred, m) = p.predict(load_pc, 5, None);
+        p.train(load_pc, m, pred, &dep_at(1, store_pc));
+        // Next iteration: the store dispatches as store_seq 7...
+        p.on_store_dispatch(store_pc, 7);
+        // ...and the load (one store later, seq 8) must now wait for it.
+        let (pred, _) = p.predict(load_pc, 8, None);
+        assert_eq!(
+            pred,
+            MemDepPrediction::Dependence {
+                distance: StoreDistance::new(1).unwrap()
+            }
+        );
+    }
+
+    #[test]
+    fn stale_lfst_pointer_gives_no_prediction() {
+        let mut p = StoreSets::default();
+        let (load_pc, store_pc) = (0x1000, 0x2000);
+        let (pred, m) = p.predict(load_pc, 5, None);
+        p.train(load_pc, m, pred, &dep_at(1, store_pc));
+        p.on_store_dispatch(store_pc, 7);
+        // 500 stores later the pointer is out of the encodable window.
+        let (pred, _) = p.predict(load_pc, 507, None);
+        assert_eq!(pred, MemDepPrediction::NoDependence);
+    }
+
+    #[test]
+    fn merging_joins_two_sets_to_smaller_ssid() {
+        let mut p = StoreSets::default();
+        // Create two distinct sets.
+        let (m1, pr1) = ((), MemDepPrediction::NoDependence);
+        p.train(0x1000, m1, pr1, &dep_at(1, 0x2000));
+        p.train(0x3000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x4000));
+        let s_load1 = p.ssit[p.ssit_index(0x1000)].unwrap();
+        let s_store2 = p.ssit[p.ssit_index(0x4000)].unwrap();
+        assert_ne!(s_load1, s_store2);
+        // Now load1 conflicts with store2: both collapse to min SSID.
+        p.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x4000));
+        let merged = s_load1.min(s_store2);
+        assert_eq!(p.ssit[p.ssit_index(0x1000)], Some(merged));
+        assert_eq!(p.ssit[p.ssit_index(0x4000)], Some(merged));
+    }
+
+    #[test]
+    fn periodic_clear_flushes_tables() {
+        let mut p = StoreSets::new(StoreSetsConfig {
+            clear_interval: 4,
+            ..Default::default()
+        });
+        p.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x2000));
+        assert!(p.ssit.iter().any(Option::is_some));
+        for _ in 0..4 {
+            p.train(0x5000, (), MemDepPrediction::NoDependence, &LoadOutcome::independent());
+        }
+        assert!(p.ssit.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn correct_prediction_does_not_remerge() {
+        let mut p = StoreSets::default();
+        p.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(2, 0x2000));
+        let before = p.next_ssid;
+        // Predicted distance matches outcome: no merge activity.
+        let predicted = MemDepPrediction::Dependence {
+            distance: StoreDistance::new(2).unwrap(),
+        };
+        p.train(0x1000, (), predicted, &dep_at(2, 0x2000));
+        assert_eq!(p.next_ssid, before);
+    }
+}

@@ -1,0 +1,1635 @@
+//! The cycle-level out-of-order core model.
+//!
+//! A trace-driven engine modelling the Table-I pipeline: N-wide fetch/decode
+//! gated by the L1I and branch prediction, dispatch into ROB/IQ/LQ/SB,
+//! dataflow issue over load/store/ALU ports, a load-store queue with
+//! store-to-load forwarding and memory-order-violation detection, optional
+//! speculative memory bypassing, in-order commit with predictor training,
+//! and post-commit store drain.
+//!
+//! ## Speculation model
+//!
+//! Loads consult the memory-dependence predictor at decode (Fig. 4):
+//!
+//! * **NoDependence** — issue as soon as the address operands are ready.
+//! * **Dependence(d)** — additionally wait until the store `d` back has
+//!   issued (stores issue when address *and* data are ready, §V), then
+//!   forward from it.
+//! * **Bypass(d)** — dependents receive the store's data one cycle after
+//!   the store issues, without waiting for the load; the load still
+//!   executes to verify the speculation (value/address check, §V).
+//!
+//! A load that executes while its true in-flight source store is still
+//! unissued reads stale data; when that store issues, the load and all
+//! younger micro-ops are squashed and re-fetched, and the re-fetched load
+//! executes conservatively (waits for all prior stores; never bypasses) to
+//! guarantee forward progress. Failed bypasses squash at verification time.
+//!
+//! Because the engine is trace-driven, squash/replay re-decodes the same
+//! micro-ops; speculative global history is rewound to the architectural
+//! path on every squash (both for the MDP predictor and the TAGE branch
+//! predictor), exactly as checkpointed history restoration would behave.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+
+use mascot::history::{BranchEvent, BranchKind};
+use mascot::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, ObservedDependence,
+    StoreDistance,
+};
+
+use crate::branch::TagePredictor;
+use crate::cache::Hierarchy;
+use crate::config::CoreConfig;
+use crate::stats::SimStats;
+use crate::uop::{Trace, Uop, UopKind};
+
+/// Cycles without a commit after which the engine declares a hang.
+const WATCHDOG_CYCLES: u64 = 500_000;
+/// Branch events retained for history rewind (covers the longest predictor
+/// history with slack).
+const REWIND_WINDOW: usize = 320;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Dispatched, waiting for operands.
+    Waiting,
+    /// Operands ready, waiting for a port.
+    Ready,
+    /// Executing.
+    Issued,
+    /// Finished; eligible for commit.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    ValueReady,
+    Complete,
+}
+
+/// How a load obtained its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    Cache,
+    Forwarded,
+    Bypassed,
+}
+
+#[derive(Debug)]
+struct LoadInfo<M> {
+    prediction: MemDepPrediction,
+    meta: Option<M>,
+    /// True when the bypass datapath was actually engaged.
+    effective_bypass: bool,
+    /// Set at issue: whether an engaged bypass delivered the right value.
+    bypass_wrong: bool,
+    /// Completion is deferred until the bypass value arrives.
+    awaiting_bypass_value: bool,
+    outcome: LoadOutcome,
+    served: Served,
+}
+
+#[derive(Debug)]
+enum Payload<M> {
+    Alu,
+    Branch,
+    Load(Box<LoadInfo<M>>),
+    Store { store_seq: u64 },
+}
+
+#[derive(Debug)]
+struct RobEntry<M> {
+    id: u64,
+    trace_idx: usize,
+    dispatch_cycle: u64,
+    issue_cycle: u64,
+    state: State,
+    deps_remaining: u32,
+    dependents: Vec<u64>,
+    value_ready_at: Option<u64>,
+    complete_at: Option<u64>,
+    has_load_producer: bool,
+    dst: Option<u8>,
+    branch_log_len: usize,
+    store_count_at_dispatch: u64,
+    payload: Payload<M>,
+}
+
+#[derive(Debug)]
+struct SbEntry {
+    store_seq: u64,
+    pc: u64,
+    addr: u64,
+    issued: bool,
+    /// Commit cycle, once retired (drain eligibility is delayed from here).
+    committed_at: Option<u64>,
+    /// Loads stalled on this store's issue (MDP waits + conservative).
+    waiting_loads: Vec<u64>,
+    /// Bypassed loads whose value this store provides.
+    bypass_waiters: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SquashReason {
+    MemoryOrder,
+    BypassFail,
+}
+
+/// The simulation engine. Construct with [`Simulator::new`] and drive with
+/// [`Simulator::run`], or use the [`simulate`] convenience function.
+pub struct Simulator<'a, P: MemDepPredictor> {
+    trace: &'a Trace,
+    cfg: &'a CoreConfig,
+    pred: &'a mut P,
+    bp: TagePredictor,
+    mem: Hierarchy,
+
+    now: u64,
+    fetch_idx: usize,
+    fetch_resume_at: u64,
+    pending_redirect: Option<u64>,
+
+    rob: VecDeque<RobEntry<P::Meta>>,
+    next_id: u64,
+    iq_count: u32,
+    lq_count: u32,
+    sb: VecDeque<SbEntry>,
+    store_seq_next: u64,
+
+    reg_writer: [Option<u64>; 64],
+    ready_set: BTreeSet<u64>,
+    events: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// store_seq → executed-stale loads awaiting that store's issue.
+    violations: HashMap<u64, Vec<u64>>,
+    pending_squashes: Vec<(u64, SquashReason)>,
+    /// Trace indices that must replay conservatively after a squash.
+    conservative: HashSet<usize>,
+    /// Dependence observed by a squashed load instance, merged into the
+    /// committed instance's training record when the replay no longer sees
+    /// the (since-drained) store — the violation information a hardware LSQ
+    /// snoop reports.
+    replay_outcome: HashMap<usize, ObservedDependence>,
+
+    branch_log: Vec<BranchEvent>,
+    committed: u64,
+    last_commit_cycle: u64,
+    stats: SimStats,
+    /// Cycles between `end_tuning_period` calls to the predictor (§IV-F);
+    /// `None` disables periodic tuning snapshots.
+    tuning_period: Option<u64>,
+}
+
+impl<P: MemDepPredictor> std::fmt::Debug for Simulator<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("trace", &self.trace.name)
+            .field("cycle", &self.now)
+            .field("committed", &self.committed)
+            .field("fetch_idx", &self.fetch_idx)
+            .field("rob_occupancy", &self.rob.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, P: MemDepPredictor> Simulator<'a, P> {
+    /// Creates an engine over a trace, core configuration and predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    pub fn new(trace: &'a Trace, cfg: &'a CoreConfig, pred: &'a mut P) -> Self {
+        cfg.validate().expect("invalid core configuration");
+        Self {
+            trace,
+            cfg,
+            pred,
+            bp: TagePredictor::default(),
+            mem: Hierarchy::new(cfg),
+            now: 0,
+            fetch_idx: 0,
+            fetch_resume_at: 0,
+            pending_redirect: None,
+            rob: VecDeque::with_capacity(cfg.rob_entries as usize),
+            next_id: 0,
+            iq_count: 0,
+            lq_count: 0,
+            sb: VecDeque::with_capacity(cfg.sb_entries as usize),
+            store_seq_next: 0,
+            reg_writer: [None; 64],
+            ready_set: BTreeSet::new(),
+            events: BinaryHeap::new(),
+            violations: HashMap::new(),
+            pending_squashes: Vec::new(),
+            conservative: HashSet::new(),
+            replay_outcome: HashMap::new(),
+            branch_log: Vec::new(),
+            committed: 0,
+            last_commit_cycle: 0,
+            stats: SimStats::default(),
+            tuning_period: None,
+        }
+    }
+
+    /// Enables periodic predictor tuning snapshots every `cycles` cycles
+    /// (the paper records F1 scores every 1 M cycles on 100 M-instruction
+    /// SimPoints; scale proportionally for shorter traces).
+    pub fn with_tuning_period(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "tuning period must be non-zero");
+        self.tuning_period = Some(cycles);
+        self
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine makes no forward progress for
+    /// `WATCHDOG_CYCLES` cycles (an engine bug, not a workload property).
+    pub fn run(mut self) -> SimStats {
+        while self.committed < self.trace.len() as u64 {
+            self.step();
+            assert!(
+                self.now - self.last_commit_cycle < WATCHDOG_CYCLES,
+                "no commit for {WATCHDOG_CYCLES} cycles at cycle {} \
+                 (committed {}/{}, fetch_idx {}, rob {} entries)",
+                self.now,
+                self.committed,
+                self.trace.len(),
+                self.fetch_idx,
+                self.rob.len()
+            );
+        }
+        if self.tuning_period.is_some() {
+            self.pred.end_tuning_period(); // flush the final partial period
+        }
+        self.stats.cycles = self.now.max(1);
+        self.stats.branch_mispredicts = self.bp.stats.cond_mispredicts;
+        self.stats.indirect_mispredicts = self.bp.stats.indirect_mispredicts;
+        self.stats.l1i_misses = self.mem.l1i.stats.misses;
+        self.stats.l1d_misses = self.mem.l1d.stats.misses;
+        self.stats.l2_misses = self.mem.l2.stats.misses;
+        self.stats.l3_misses = self.mem.l3.stats.misses;
+        self.stats
+    }
+
+    fn step(&mut self) {
+        self.process_events();
+        self.issue();
+        self.apply_squashes();
+        self.commit();
+        self.drain_stores();
+        self.dispatch();
+        self.now += 1;
+        if let Some(period) = self.tuning_period {
+            if self.now.is_multiple_of(period) {
+                self.pred.end_tuning_period();
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- lookup
+
+    fn pos_of(&self, id: u64) -> Option<usize> {
+        // ROB ids are strictly increasing in dispatch (= age) order.
+        self.rob.binary_search_by_key(&id, |e| e.id).ok()
+    }
+
+    fn entry(&self, id: u64) -> Option<&RobEntry<P::Meta>> {
+        self.pos_of(id).map(|i| &self.rob[i])
+    }
+
+    fn entry_mut(&mut self, id: u64) -> Option<&mut RobEntry<P::Meta>> {
+        self.pos_of(id).map(move |i| &mut self.rob[i])
+    }
+
+    fn sb_pos(&self, store_seq: u64) -> Option<usize> {
+        let front = self.sb.front()?.store_seq;
+        if store_seq < front {
+            return None;
+        }
+        let idx = (store_seq - front) as usize;
+        (idx < self.sb.len()).then_some(idx)
+    }
+
+    // ---------------------------------------------------------- events
+
+    fn schedule(&mut self, cycle: u64, id: u64, kind: EventKind) {
+        debug_assert!(cycle >= self.now);
+        self.events.push(Reverse((cycle, id, kind as u8)));
+    }
+
+    fn process_events(&mut self) {
+        while let Some(&Reverse((cycle, id, kind))) = self.events.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.events.pop();
+            let kind = if kind == 0 {
+                EventKind::ValueReady
+            } else {
+                EventKind::Complete
+            };
+            match kind {
+                EventKind::ValueReady => self.on_value_ready(id),
+                EventKind::Complete => self.on_complete(id),
+            }
+        }
+    }
+
+    fn on_value_ready(&mut self, id: u64) {
+        let Some(pos) = self.pos_of(id) else { return };
+        if self.rob[pos].value_ready_at != Some(self.now) {
+            return; // stale event
+        }
+        let dependents = std::mem::take(&mut self.rob[pos].dependents);
+        for dep in dependents {
+            self.satisfy_dependency(dep);
+        }
+    }
+
+    fn satisfy_dependency(&mut self, id: u64) {
+        let Some(e) = self.entry_mut(id) else { return };
+        debug_assert!(e.deps_remaining > 0);
+        e.deps_remaining -= 1;
+        if e.deps_remaining == 0 && e.state == State::Waiting {
+            e.state = State::Ready;
+            self.ready_set.insert(id);
+        }
+    }
+
+    fn on_complete(&mut self, id: u64) {
+        let Some(pos) = self.pos_of(id) else { return };
+        let e = &mut self.rob[pos];
+        if e.complete_at != Some(self.now) || e.state != State::Issued {
+            return; // stale event
+        }
+        // A bypassed load may complete execution before its bypass value
+        // arrives; commit must wait for the value.
+        if let Payload::Load(info) = &mut e.payload {
+            if info.effective_bypass && e.value_ready_at.is_none_or(|v| v > self.now) {
+                info.awaiting_bypass_value = true;
+                e.complete_at = None;
+                return;
+            }
+        }
+        e.state = State::Done;
+        // Failed bypass: squash at verification.
+        if let Payload::Load(info) = &e.payload {
+            if info.effective_bypass && info.bypass_wrong {
+                self.pending_squashes.push((id, SquashReason::BypassFail));
+            }
+        }
+        // Mispredicted branch resolution lifts the frontend stall.
+        if self.pending_redirect == Some(id) {
+            self.pending_redirect = None;
+            self.fetch_resume_at = self.now + u64::from(self.cfg.redirect_penalty);
+        }
+    }
+
+    // ---------------------------------------------------------- issue
+
+    fn issue(&mut self) {
+        let snapshot: Vec<u64> = self.ready_set.iter().copied().collect();
+        let mut store_budget = self.cfg.store_ports;
+        let mut load_budget = self.cfg.load_ports;
+        let mut alu_budget = self.cfg.alu_ports;
+        let mut mshr_blocked = false;
+
+        // Stores issue first within a cycle so same-cycle loads can forward.
+        for &id in &snapshot {
+            if store_budget == 0 {
+                break;
+            }
+            if matches!(
+                self.entry(id).map(|e| &e.payload),
+                Some(Payload::Store { .. })
+            ) {
+                self.issue_store(id);
+                store_budget -= 1;
+            }
+        }
+        for &id in &snapshot {
+            let Some(e) = self.entry(id) else { continue };
+            if e.state != State::Ready {
+                continue;
+            }
+            match &e.payload {
+                Payload::Store { .. } => {}
+                Payload::Load(_) => {
+                    if load_budget > 0 && !mshr_blocked {
+                        if self.issue_load(id) {
+                            load_budget -= 1;
+                        } else {
+                            mshr_blocked = true; // structural stall: retry next cycle
+                        }
+                    }
+                }
+                Payload::Alu | Payload::Branch => {
+                    if alu_budget > 0 {
+                        self.issue_alu(id);
+                        alu_budget -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin_issue(&mut self, id: u64) {
+        self.ready_set.remove(&id);
+        self.iq_count -= 1;
+        let now = self.now;
+        let e = self.entry_mut(id).expect("issuing entry exists");
+        debug_assert_eq!(e.state, State::Ready);
+        e.state = State::Issued;
+        e.issue_cycle = now;
+    }
+
+    fn finish_issue(&mut self, id: u64, complete: u64, value_ready: Option<u64>) {
+        let e = self.entry_mut(id).expect("issued entry exists");
+        e.complete_at = Some(complete);
+        if let Some(v) = value_ready {
+            e.value_ready_at = Some(v);
+            self.schedule(v, id, EventKind::ValueReady);
+        }
+        self.schedule(complete, id, EventKind::Complete);
+    }
+
+    fn issue_alu(&mut self, id: u64) {
+        self.begin_issue(id);
+        let e = self.entry(id).expect("entry exists");
+        let latency = u64::from(self.trace.uops[e.trace_idx].latency.max(1));
+        let done = self.now + latency;
+        self.finish_issue(id, done, Some(done));
+    }
+
+    fn issue_store(&mut self, id: u64) {
+        self.begin_issue(id);
+        let (store_seq, trace_idx) = {
+            let e = self.entry(id).expect("entry exists");
+            match &e.payload {
+                Payload::Store { store_seq } => (*store_seq, e.trace_idx),
+                _ => unreachable!("issue_store on non-store"),
+            }
+        };
+        let _ = trace_idx;
+        let done = self.now + 1;
+        self.finish_issue(id, done, Some(done));
+
+        // Resolve the SB entry and wake everyone waiting on it.
+        let Some(pos) = self.sb_pos(store_seq) else {
+            return;
+        };
+        self.sb[pos].issued = true;
+        let waiting = std::mem::take(&mut self.sb[pos].waiting_loads);
+        let bypassers = std::mem::take(&mut self.sb[pos].bypass_waiters);
+        for load in waiting {
+            self.satisfy_dependency(load);
+        }
+        let value_at = self.now + 1;
+        for load in bypassers {
+            if let Some(e) = self.entry_mut(load) {
+                e.value_ready_at = Some(value_at);
+                let deliver_complete = match &mut e.payload {
+                    Payload::Load(info) if info.awaiting_bypass_value => {
+                        info.awaiting_bypass_value = false;
+                        e.complete_at = Some(value_at);
+                        e.state = State::Issued; // still issued; re-arm completion
+                        true
+                    }
+                    _ => false,
+                };
+                self.schedule(value_at, load, EventKind::ValueReady);
+                if deliver_complete {
+                    self.schedule(value_at, load, EventKind::Complete);
+                }
+            }
+        }
+        // Memory-order violations: stale loads younger than this store.
+        if let Some(loads) = self.violations.remove(&store_seq) {
+            if let Some(&victim) = loads.iter().min() {
+                self.pending_squashes.push((victim, SquashReason::MemoryOrder));
+            }
+        }
+    }
+
+    /// Issues a load; returns false when blocked on a full MSHR file.
+    fn issue_load(&mut self, id: u64) -> bool {
+        let (trace_idx, store_count) = {
+            let e = self.entry(id).expect("entry exists");
+            (e.trace_idx, e.store_count_at_dispatch)
+        };
+        let (addr, dep) = match self.trace.uops[trace_idx].kind {
+            UopKind::Load { addr, dep, .. } => (addr, dep),
+            _ => unreachable!("issue_load on non-load"),
+        };
+        let pc = self.trace.uops[trace_idx].pc;
+
+        // The observed in-flight dependence: the ground-truth source store,
+        // if it is still in the store buffer.
+        let inflight = dep.and_then(|d| {
+            let seq = store_count.checked_sub(u64::from(d.distance))?;
+            let pos = self.sb_pos(seq)?;
+            Some((d, seq, pos))
+        });
+
+        let effective_bypass = {
+            let e = self.entry(id).expect("entry exists");
+            match &e.payload {
+                Payload::Load(info) => info.effective_bypass,
+                _ => unreachable!(),
+            }
+        };
+
+        let completion;
+        let mut served = Served::Cache;
+        let mut outcome = LoadOutcome::independent();
+        let mut register_violation = None;
+
+        match inflight {
+            Some((d, _seq, pos)) if self.sb[pos].issued => {
+                // Store-to-load forwarding: SB searched in parallel with the
+                // L1D, same latency (§V).
+                completion = self.now + u64::from(self.cfg.l1d.hit_latency);
+                served = Served::Forwarded;
+                outcome = observed_outcome(&d);
+            }
+            Some((d, seq, _pos)) => {
+                // The source store's address/data are unknown: the load
+                // reads stale data. Squash fires when the store issues,
+                // unless the bypass datapath supplied the value instead.
+                let Some(done) = self.mem.access_data(pc, addr, self.now, false) else {
+                    return false;
+                };
+                completion = done;
+                outcome = observed_outcome(&d);
+                if !effective_bypass {
+                    register_violation = Some(seq);
+                }
+            }
+            None => {
+                let Some(done) = self.mem.access_data(pc, addr, self.now, false) else {
+                    return false;
+                };
+                completion = done;
+            }
+        }
+
+        self.begin_issue(id);
+        if let Some(seq) = register_violation {
+            self.violations.entry(seq).or_default().push(id);
+        }
+
+        // Bypass verification: correct iff the static ground truth names the
+        // predicted store and the class is within the datapath's reach.
+        let mut bypass_wrong = false;
+        if effective_bypass {
+            served = Served::Bypassed;
+            let predicted = {
+                let e = self.entry(id).expect("entry exists");
+                match &e.payload {
+                    Payload::Load(info) => info.prediction.distance(),
+                    _ => unreachable!(),
+                }
+            };
+            let ok = dep.is_some_and(|d| {
+                StoreDistance::new(d.distance) == predicted
+                    && (d.class.is_bypassable()
+                        || (d.class == mascot::BypassClass::Offset
+                            && self.pred.bypass_supports_offset()))
+            });
+            bypass_wrong = !ok;
+        }
+
+        {
+            let e = self.entry_mut(id).expect("entry exists");
+            if let Payload::Load(info) = &mut e.payload {
+                info.outcome = outcome;
+                info.served = served;
+                info.bypass_wrong = bypass_wrong;
+            }
+        }
+        let value_ready = if effective_bypass {
+            None // scheduled by the bypassing store (or already at dispatch)
+        } else {
+            Some(completion)
+        };
+        self.finish_issue(id, completion, value_ready);
+        true
+    }
+
+    // ---------------------------------------------------------- squash
+
+    fn apply_squashes(&mut self) {
+        if self.pending_squashes.is_empty() {
+            return;
+        }
+        let squashes = std::mem::take(&mut self.pending_squashes);
+        let &(victim, reason) = squashes
+            .iter()
+            .min_by_key(|s| s.0)
+            .expect("checked non-empty");
+        if self.pos_of(victim).is_none() {
+            return; // already flushed by an earlier squash this cycle
+        }
+        match reason {
+            SquashReason::MemoryOrder => self.stats.mem_order_squashes += 1,
+            SquashReason::BypassFail => self.stats.smb_squashes += 1,
+        }
+        self.squash_from(victim);
+    }
+
+    fn squash_from(&mut self, victim: u64) {
+        let vpos = self.pos_of(victim).expect("victim in ROB");
+        let (trace_idx, branch_len, store_count) = {
+            let v = &self.rob[vpos];
+            (v.trace_idx, v.branch_log_len, v.store_count_at_dispatch)
+        };
+        // Preserve the violation information for the replayed instance's
+        // training record (the store will usually have drained by then).
+        if let Payload::Load(info) = &self.rob[vpos].payload {
+            if let Some(dep) = info.outcome.dependence {
+                self.replay_outcome.insert(trace_idx, dep);
+            }
+        }
+
+        // Flush the victim and everything younger.
+        while self.rob.len() > vpos {
+            let e = self.rob.pop_back().expect("len > vpos");
+            match e.payload {
+                Payload::Store { store_seq } => {
+                    let back = self.sb.pop_back().expect("store has an SB entry");
+                    debug_assert_eq!(back.store_seq, store_seq);
+                }
+                Payload::Load(_) => self.lq_count -= 1,
+                _ => {}
+            }
+            if matches!(e.state, State::Waiting | State::Ready) {
+                self.iq_count -= 1;
+            }
+            self.ready_set.remove(&e.id);
+        }
+
+        // Purge references to flushed micro-ops.
+        for s in &mut self.sb {
+            s.waiting_loads.retain(|&l| l < victim);
+            s.bypass_waiters.retain(|&l| l < victim);
+        }
+        self.violations.retain(|_, loads| {
+            loads.retain(|&l| l < victim);
+            !loads.is_empty()
+        });
+        for e in &mut self.rob {
+            e.dependents.retain(|&d| d < victim);
+        }
+        if matches!(self.pending_redirect, Some(b) if b >= victim) {
+            self.pending_redirect = None;
+        }
+
+        // Rebuild the rename map from the surviving window.
+        self.reg_writer = [None; 64];
+        for e in &self.rob {
+            if let Some(dst) = e.dst {
+                self.reg_writer[usize::from(dst)] = Some(e.id);
+            }
+        }
+
+        // Rewind the speculative path.
+        self.fetch_idx = trace_idx;
+        self.store_seq_next = store_count;
+        self.branch_log.truncate(branch_len);
+        let tail_start = self.branch_log.len().saturating_sub(REWIND_WINDOW);
+        self.pred.rewind_history(&self.branch_log[tail_start..]);
+        self.bp.rewind_history(&self.branch_log[tail_start..]);
+
+        self.conservative.insert(trace_idx);
+        self.fetch_resume_at = self.now + u64::from(self.cfg.redirect_penalty);
+    }
+
+    // ---------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        while budget > 0 {
+            let Some(front) = self.rob.front() else { break };
+            if front.state != State::Done || front.complete_at.is_none_or(|c| c > self.now) {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked non-empty");
+            budget -= 1;
+            self.committed += 1;
+            self.stats.committed_uops += 1;
+            self.last_commit_cycle = self.now;
+            if e.has_load_producer {
+                self.stats.dependent_wait_cycles += e.issue_cycle - e.dispatch_cycle;
+                self.stats.dependent_wait_count += 1;
+            }
+            if let Some(dst) = e.dst {
+                if self.reg_writer[usize::from(dst)] == Some(e.id) {
+                    self.reg_writer[usize::from(dst)] = None;
+                }
+            }
+            match e.payload {
+                Payload::Alu => {}
+                Payload::Branch => self.stats.committed_branches += 1,
+                Payload::Store { store_seq } => {
+                    self.stats.committed_stores += 1;
+                    let now = self.now;
+                    if let Some(pos) = self.sb_pos(store_seq) {
+                        self.sb[pos].committed_at = Some(now);
+                    }
+                }
+                Payload::Load(info) => {
+                    self.stats.committed_loads += 1;
+                    self.lq_count -= 1;
+                    self.conservative.remove(&e.trace_idx);
+                    let mut info = *info;
+                    // Merge violation information from a squashed instance
+                    // of this load if the replay saw the store drained.
+                    if let Some(dep) = self.replay_outcome.remove(&e.trace_idx) {
+                        if info.outcome.dependence.is_none() {
+                            info.outcome = LoadOutcome::dependent(dep);
+                        }
+                    }
+                    self.commit_load(e.trace_idx, info);
+                }
+            }
+        }
+    }
+
+    fn commit_load(&mut self, trace_idx: usize, info: LoadInfo<P::Meta>) {
+        let pc = self.trace.uops[trace_idx].pc;
+        // Prediction census (Fig. 10 left).
+        match info.prediction {
+            MemDepPrediction::NoDependence => self.stats.pred_no_dep += 1,
+            MemDepPrediction::Dependence { .. } => self.stats.pred_mdp += 1,
+            MemDepPrediction::Bypass { .. } => self.stats.pred_smb += 1,
+        }
+        match info.served {
+            Served::Cache => self.stats.loads_from_cache += 1,
+            Served::Forwarded => self.stats.loads_forwarded += 1,
+            Served::Bypassed => self.stats.loads_bypassed += 1,
+        }
+        // In-flight dependence census (Fig. 2).
+        if let Some(dep) = info.outcome.dependence {
+            match dep.class {
+                mascot::BypassClass::DirectBypass => self.stats.class_direct_bypass += 1,
+                mascot::BypassClass::NoOffset => self.stats.class_no_offset += 1,
+                mascot::BypassClass::Offset => self.stats.class_offset += 1,
+                mascot::BypassClass::MdpOnly => self.stats.class_mdp_only += 1,
+            }
+        }
+        // Misprediction taxonomy (Figs. 8 and 10 right).
+        let outcome_dist = info.outcome.dependence.map(|d| d.distance);
+        match info.prediction {
+            MemDepPrediction::NoDependence => {
+                if outcome_dist.is_some() {
+                    self.stats.missed_dependencies += 1;
+                } else {
+                    self.stats.correct_no_dep += 1;
+                }
+            }
+            MemDepPrediction::Dependence { distance } => match outcome_dist {
+                Some(d) if d == distance => self.stats.correct_mdp += 1,
+                Some(_) => self.stats.wrong_store += 1,
+                None => self.stats.false_dependencies += 1,
+            },
+            MemDepPrediction::Bypass { distance } => {
+                if info.effective_bypass && !info.bypass_wrong {
+                    self.stats.correct_smb += 1;
+                } else if info.effective_bypass {
+                    self.stats.smb_errors += 1;
+                } else {
+                    // Demoted bypass (source store gone at dispatch).
+                    match outcome_dist {
+                        Some(d) if d == distance => self.stats.correct_mdp += 1,
+                        Some(_) => self.stats.wrong_store += 1,
+                        None => self.stats.false_dependencies += 1,
+                    }
+                }
+            }
+        }
+        if let Some(meta) = info.meta {
+            self.pred.train(pc, meta, info.prediction, &info.outcome);
+        }
+    }
+
+    // ---------------------------------------------------------- drain
+
+    fn drain_stores(&mut self) {
+        let mut budget = self.cfg.store_drain_per_cycle;
+        let delay = u64::from(self.cfg.store_drain_delay);
+        while budget > 0 {
+            let Some(front) = self.sb.front() else { break };
+            let eligible = front.issued
+                && front
+                    .committed_at
+                    .is_some_and(|c| self.now >= c + delay);
+            if !eligible {
+                break;
+            }
+            let s = self.sb.pop_front().expect("checked non-empty");
+            let _ = self.mem.access_data(s.pc, s.addr, self.now, true);
+            budget -= 1;
+        }
+    }
+
+    // ---------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        if self.fetch_idx >= self.trace.len() {
+            return;
+        }
+        if self.now < self.fetch_resume_at {
+            self.stats.stall_frontend += 1;
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        let mut dispatched = 0u32;
+        let mut blocker: Option<&'static str> = None;
+        while budget > 0 {
+            if self.fetch_idx >= self.trace.len() {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries as usize {
+                blocker = Some("rob");
+                break;
+            }
+            if self.iq_count >= self.cfg.iq_entries {
+                blocker = Some("iq");
+                break;
+            }
+            let uop = self.trace.uops[self.fetch_idx];
+            match uop.kind {
+                UopKind::Load { .. } if self.lq_count >= self.cfg.lq_entries => {
+                    blocker = Some("lq");
+                    break;
+                }
+                UopKind::Store { .. } if self.sb.len() >= self.cfg.sb_entries as usize => {
+                    blocker = Some("sb");
+                    break;
+                }
+                _ => {}
+            }
+            let avail = self.mem.access_inst(uop.pc, self.now);
+            if avail > self.now {
+                self.fetch_resume_at = avail;
+                blocker = Some("frontend");
+                break;
+            }
+            let stall = self.dispatch_one(uop);
+            budget -= 1;
+            dispatched += 1;
+            self.fetch_idx += 1;
+            if stall {
+                break;
+            }
+        }
+        if dispatched == 0 {
+            match blocker {
+                Some("rob") => self.stats.stall_rob += 1,
+                Some("iq") => self.stats.stall_iq += 1,
+                Some("lq") => self.stats.stall_lq += 1,
+                Some("sb") => self.stats.stall_sb += 1,
+                Some(_) => self.stats.stall_frontend += 1,
+                None => {}
+            }
+        }
+    }
+
+    /// Dispatches one micro-op; returns true when the frontend must stall
+    /// (mispredicted branch).
+    fn dispatch_one(&mut self, uop: Uop) -> bool {
+        let id = self.next_id;
+        self.next_id += 1;
+        let trace_idx = self.fetch_idx;
+
+        // Register dataflow.
+        let mut deps = 0u32;
+        let mut has_load_producer = false;
+        let mut dependents_to_register: Vec<u64> = Vec::new();
+        for src in uop.srcs.iter().flatten() {
+            if let Some(writer) = self.reg_writer[usize::from(*src)] {
+                if let Some(w) = self.entry(writer) {
+                    let pending = w.value_ready_at.is_none_or(|t| t > self.now);
+                    if matches!(w.payload, Payload::Load(_)) {
+                        has_load_producer = true;
+                    }
+                    if pending {
+                        deps += 1;
+                        dependents_to_register.push(writer);
+                    }
+                }
+            }
+        }
+        for writer in dependents_to_register {
+            if let Some(w) = self.entry_mut(writer) {
+                w.dependents.push(id);
+            }
+        }
+
+        let store_count = self.store_seq_next;
+        let mut payload = Payload::Alu;
+        let mut frontend_stall = false;
+        // Set when a bypassed load's source store has already issued at
+        // dispatch: the value arrives next cycle.
+        let mut early_value_at: Option<u64> = None;
+
+        match uop.kind {
+            UopKind::Alu => {}
+            UopKind::Branch {
+                kind,
+                taken,
+                target,
+            } => {
+                payload = Payload::Branch;
+                let correct = match kind {
+                    BranchKind::Conditional => self.bp.predict_and_train(uop.pc, taken),
+                    BranchKind::Indirect => self.bp.predict_indirect_and_train(uop.pc, target),
+                };
+                let ev = BranchEvent {
+                    pc: uop.pc,
+                    kind,
+                    taken,
+                    target,
+                };
+                self.bp.on_branch(&ev);
+                self.pred.on_branch(&ev);
+                self.branch_log.push(ev);
+                if !correct {
+                    self.pending_redirect = Some(id);
+                    self.fetch_resume_at = u64::MAX;
+                    frontend_stall = true;
+                }
+            }
+            UopKind::Store { addr, .. } => {
+                let store_seq = self.store_seq_next;
+                self.store_seq_next += 1;
+                // Store-store serialisation (Store Sets, §V): the predictor
+                // may order this store behind an earlier one in its set.
+                if let Some(d) = self.pred.predict_store_wait(uop.pc, store_seq) {
+                    if let Some(pos) = store_seq
+                        .checked_sub(u64::from(d.get()))
+                        .and_then(|s| self.sb_pos(s))
+                    {
+                        if !self.sb[pos].issued {
+                            self.sb[pos].waiting_loads.push(id);
+                            deps += 1;
+                        }
+                    }
+                }
+                self.sb.push_back(SbEntry {
+                    store_seq,
+                    pc: uop.pc,
+                    addr,
+                    issued: false,
+                    committed_at: None,
+                    waiting_loads: Vec::new(),
+                    bypass_waiters: Vec::new(),
+                });
+                self.pred.on_store_dispatch(uop.pc, store_seq);
+                payload = Payload::Store { store_seq };
+            }
+            UopKind::Load { dep, .. } => {
+                self.lq_count += 1;
+                let conservative = self.conservative.contains(&trace_idx);
+                let oracle = dep.and_then(|d| {
+                    Some(GroundTruth {
+                        distance: StoreDistance::new(d.distance)?,
+                        class: d.class,
+                    })
+                });
+                let (prediction, meta) = self.pred.predict(uop.pc, store_count, oracle.as_ref());
+
+                let mut effective_bypass = false;
+                match prediction {
+                    MemDepPrediction::NoDependence => {}
+                    MemDepPrediction::Dependence { distance }
+                    | MemDepPrediction::Bypass { distance } => {
+                        let target_seq = store_count.checked_sub(u64::from(distance.get()));
+                        let sb_pos = target_seq.and_then(|s| self.sb_pos(s));
+                        let wants_bypass = prediction.is_bypass() && !conservative;
+                        match sb_pos {
+                            Some(pos) if wants_bypass => {
+                                effective_bypass = true;
+                                if self.sb[pos].issued {
+                                    // Value already available: deliver next cycle.
+                                    let v = self.now + 1;
+                                    early_value_at = Some(v);
+                                    self.schedule(v, id, EventKind::ValueReady);
+                                } else {
+                                    self.sb[pos].bypass_waiters.push(id);
+                                    // The load's own execution (the address/
+                                    // value verification) also waits for the
+                                    // store so it checks via the forwarding
+                                    // path instead of a spurious cache access.
+                                    self.sb[pos].waiting_loads.push(id);
+                                    deps += 1;
+                                }
+                            }
+                            Some(pos) if !self.sb[pos].issued => {
+                                self.sb[pos].waiting_loads.push(id);
+                                deps += 1;
+                            }
+                            Some(_) => {} // source store already resolved
+                            None => {} // source store drained or out of range
+                        }
+                    }
+                }
+                if conservative {
+                    // Wait for every currently-unissued prior store.
+                    let unissued: Vec<usize> = (0..self.sb.len())
+                        .filter(|&i| !self.sb[i].issued)
+                        .collect();
+                    for i in unissued {
+                        self.sb[i].waiting_loads.push(id);
+                        deps += 1;
+                    }
+                }
+                payload = Payload::Load(Box::new(LoadInfo {
+                    prediction,
+                    meta: Some(meta),
+                    effective_bypass,
+                    bypass_wrong: false,
+                    awaiting_bypass_value: false,
+                    outcome: LoadOutcome::independent(),
+                    served: Served::Cache,
+                }));
+            }
+        }
+
+        if let Some(dst) = uop.dst {
+            self.reg_writer[usize::from(dst)] = Some(id);
+        }
+        let state = if deps == 0 {
+            State::Ready
+        } else {
+            State::Waiting
+        };
+        let value_ready_at = early_value_at;
+        if state == State::Ready {
+            self.ready_set.insert(id);
+        }
+        self.iq_count += 1;
+        self.rob.push_back(RobEntry {
+            id,
+            trace_idx,
+            dispatch_cycle: self.now,
+            issue_cycle: self.now,
+            state,
+            deps_remaining: deps,
+            dependents: Vec::new(),
+            value_ready_at,
+            complete_at: None,
+            has_load_producer,
+            dst: uop.dst,
+            branch_log_len: self.branch_log.len().saturating_sub(
+                // The branch's own event is context for *younger* uops, not
+                // for itself: rewinding to this uop must exclude it.
+                usize::from(matches!(uop.kind, UopKind::Branch { .. })),
+            ),
+            store_count_at_dispatch: store_count,
+            payload,
+        });
+        frontend_stall
+    }
+}
+
+/// Helper: the observed outcome for an in-flight dependence.
+fn observed_outcome(d: &crate::uop::TraceDep) -> LoadOutcome {
+    match StoreDistance::new(d.distance) {
+        Some(distance) => LoadOutcome::dependent(ObservedDependence {
+            distance,
+            class: d.class,
+            store_pc: d.store_pc,
+            branches_between: d.branches_between,
+        }),
+        // A dependence beyond the encodable window is treated as
+        // independent for prediction purposes (cannot happen with a
+        // 114-entry store buffer; kept for safety).
+        None => LoadOutcome::independent(),
+    }
+}
+
+/// Runs `trace` on a core with the given configuration and predictor.
+///
+/// # Examples
+///
+/// ```
+/// use mascot_sim::{simulate, CoreConfig, Trace, Uop};
+/// use mascot_predictors::PerfectMdp;
+///
+/// let trace = Trace::new("demo", vec![
+///     Uop::alu(0x0, [None, None], Some(1), 1),
+///     Uop::store(0x4, 0x1000, 8, None, Some(1)),
+///     Uop::load(0x8, 0x1000, 8, None, 2, None),
+/// ]);
+/// let mut oracle = PerfectMdp::new();
+/// let stats = simulate(&trace, &CoreConfig::golden_cove(), &mut oracle);
+/// assert_eq!(stats.committed_uops, 3);
+/// ```
+pub fn simulate<P: MemDepPredictor>(trace: &Trace, cfg: &CoreConfig, pred: &mut P) -> SimStats {
+    Simulator::new(trace, cfg, pred).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot::prediction::BypassClass;
+    use crate::uop::TraceDep;
+
+    /// A predictor with a fixed response, for engine testing.
+    #[derive(Debug)]
+    struct Fixed(MemDepPrediction);
+
+    impl MemDepPredictor for Fixed {
+        type Meta = ();
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn predict(
+            &mut self,
+            _pc: u64,
+            _store_seq: u64,
+            _oracle: Option<&GroundTruth>,
+        ) -> (MemDepPrediction, ()) {
+            (self.0, ())
+        }
+        fn train(&mut self, _: u64, _: (), _: MemDepPrediction, _: &LoadOutcome) {}
+        fn on_branch(&mut self, _: &BranchEvent) {}
+        fn rewind_history(&mut self, _: &[BranchEvent]) {}
+        fn storage_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    fn always_no_dep() -> Fixed {
+        Fixed(MemDepPrediction::NoDependence)
+    }
+
+    fn always_dep(d: u32) -> Fixed {
+        Fixed(MemDepPrediction::Dependence {
+            distance: StoreDistance::new(d).unwrap(),
+        })
+    }
+
+    fn always_bypass(d: u32) -> Fixed {
+        Fixed(MemDepPrediction::Bypass {
+            distance: StoreDistance::new(d).unwrap(),
+        })
+    }
+
+    fn dep1() -> Option<TraceDep> {
+        Some(TraceDep {
+            distance: 1,
+            class: BypassClass::DirectBypass,
+            store_pc: 0, // patched by helpers
+            branches_between: 0,
+        })
+    }
+
+    /// store (data from a slow ALU) ... load (same addr) ... consumer.
+    /// `alu_latency` controls how late the store's data arrives.
+    fn store_load_trace(n: usize, alu_latency: u8) -> Trace {
+        let mut uops = Vec::new();
+        for i in 0..n {
+            let base = 0x1000 + (i as u64) * 64;
+            let store_pc = 0x400 + 16;
+            uops.push(Uop::alu(0x400, [None, None], Some(1), alu_latency));
+            uops.push(Uop::store(store_pc, base, 8, None, Some(1)));
+            let mut dep = dep1().unwrap();
+            dep.store_pc = store_pc;
+            uops.push(Uop::load(0x400 + 32, base, 8, None, 2, Some(dep)));
+            uops.push(Uop::alu(0x400 + 48, [Some(2), None], Some(3), 1));
+        }
+        Trace::new("store-load", uops)
+    }
+
+    fn golden() -> CoreConfig {
+        CoreConfig::golden_cove()
+    }
+
+    #[test]
+    fn independent_alu_ops_commit_at_high_ipc() {
+        let uops: Vec<Uop> = (0..6000)
+            .map(|i| Uop::alu(0x100 + (i % 32) * 4, [None, None], Some((i % 40) as u8), 1))
+            .collect();
+        let trace = Trace::new("alu", uops);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.committed_uops, 6000);
+        // Independent single-cycle ALU ops: bounded by fetch width (6) and
+        // should get close to it.
+        assert!(stats.ipc() > 4.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn dependent_alu_chain_limits_ipc_to_one() {
+        let uops: Vec<Uop> = (0..4000)
+            .map(|i| Uop::alu(0x100 + (i % 16) * 4, [Some(1), None], Some(1), 1))
+            .collect();
+        let trace = Trace::new("chain", uops);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert!(stats.ipc() <= 1.05, "serial chain cannot beat 1 IPC, got {}", stats.ipc());
+        assert!(stats.ipc() > 0.8, "chain should sustain ~1 IPC, got {}", stats.ipc());
+    }
+
+    #[test]
+    fn perfect_mdp_forwards_without_squashes() {
+        let trace = store_load_trace(500, 8);
+        let mut p = mascot_test_oracle();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.committed_uops, trace.len() as u64);
+        assert_eq!(stats.mem_order_squashes, 0);
+        assert_eq!(stats.smb_squashes, 0);
+        assert!(stats.loads_forwarded > 400, "forwarded {}", stats.loads_forwarded);
+        assert_eq!(stats.missed_dependencies, 0);
+        assert_eq!(stats.false_dependencies, 0);
+    }
+
+    /// An oracle like PerfectMdp but local to these tests.
+    fn mascot_test_oracle() -> impl MemDepPredictor<Meta = ()> {
+        #[derive(Debug)]
+        struct Oracle;
+        impl MemDepPredictor for Oracle {
+            type Meta = ();
+            fn name(&self) -> &'static str {
+                "test-oracle"
+            }
+            fn predict(
+                &mut self,
+                _pc: u64,
+                _seq: u64,
+                oracle: Option<&GroundTruth>,
+            ) -> (MemDepPrediction, ()) {
+                match oracle {
+                    Some(gt) => (
+                        MemDepPrediction::Dependence {
+                            distance: gt.distance,
+                        },
+                        (),
+                    ),
+                    None => (MemDepPrediction::NoDependence, ()),
+                }
+            }
+            fn train(&mut self, _: u64, _: (), _: MemDepPrediction, _: &LoadOutcome) {}
+            fn on_branch(&mut self, _: &BranchEvent) {}
+            fn rewind_history(&mut self, _: &[BranchEvent]) {}
+            fn storage_bits(&self) -> u64 {
+                0
+            }
+        }
+        Oracle
+    }
+
+    #[test]
+    fn always_no_dep_causes_squashes_but_completes() {
+        // Slow store data => loads that speculate reads stale data and get
+        // squashed when the store issues.
+        let trace = store_load_trace(300, 12);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.committed_uops, trace.len() as u64);
+        assert!(stats.mem_order_squashes > 100, "squashes {}", stats.mem_order_squashes);
+        // Replayed loads commit with the dependence observed: the predictor
+        // kept predicting no-dep, so they count as missed dependencies.
+        assert!(stats.missed_dependencies > 100);
+    }
+
+    #[test]
+    fn squashes_cost_performance() {
+        let trace = store_load_trace(300, 12);
+        let mut good = mascot_test_oracle();
+        let ipc_good = simulate(&trace, &golden(), &mut good).ipc();
+        let mut bad = always_no_dep();
+        let ipc_bad = simulate(&trace, &golden(), &mut bad).ipc();
+        assert!(
+            ipc_good > ipc_bad * 1.05,
+            "perfect MDP {ipc_good} should clearly beat squash-heavy {ipc_bad}"
+        );
+    }
+
+    #[test]
+    fn false_dependencies_only_delay() {
+        // Loads with NO real dependence, predicted dependent on distance 1:
+        // they stall behind an unrelated store but never squash.
+        let mut uops = Vec::new();
+        for i in 0..200u64 {
+            uops.push(Uop::alu(0x100, [None, None], Some(1), 6));
+            uops.push(Uop::store(0x110, 0x9000 + i * 64, 8, None, Some(1)));
+            uops.push(Uop::load(0x120, 0x5_0000 + i * 64, 8, None, 2, None));
+        }
+        let trace = Trace::new("false-dep", uops);
+        let mut p = always_dep(1);
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.mem_order_squashes, 0);
+        assert!(stats.false_dependencies > 150);
+        let mut free = always_no_dep();
+        let unstalled = simulate(&trace, &golden(), &mut free);
+        assert!(
+            unstalled.ipc() >= stats.ipc(),
+            "false dependencies cannot help: {} vs {}",
+            unstalled.ipc(),
+            stats.ipc()
+        );
+    }
+
+    #[test]
+    fn bypassing_beats_waiting_when_data_is_late() {
+        // The store's data comes from a long-latency op; consumers of the
+        // load profit from bypassing because the load's value is forwarded
+        // the moment the store issues, skipping the L1D latency.
+        let trace = store_load_trace(400, 10);
+        let mut wait = always_dep(1);
+        let ipc_wait = simulate(&trace, &golden(), &mut wait).ipc();
+        let mut byp = always_bypass(1);
+        let stats_byp = simulate(&trace, &golden(), &mut byp);
+        assert_eq!(stats_byp.smb_squashes, 0, "all bypasses are correct");
+        assert!(stats_byp.loads_bypassed > 300, "bypassed {}", stats_byp.loads_bypassed);
+        assert!(
+            stats_byp.ipc() > ipc_wait,
+            "bypassing {} should beat waiting {}",
+            stats_byp.ipc(),
+            ipc_wait
+        );
+    }
+
+    #[test]
+    fn wrong_bypass_squashes_and_still_completes() {
+        // Loads have no dependence at all, but are force-bypassed from the
+        // previous (unrelated) store: every engaged bypass is wrong.
+        let mut uops = Vec::new();
+        for i in 0..150u64 {
+            uops.push(Uop::alu(0x100, [None, None], Some(1), 4));
+            uops.push(Uop::store(0x110, 0x9000 + i * 64, 8, None, Some(1)));
+            uops.push(Uop::load(0x120, 0x5_0000 + i * 64, 8, None, 2, None));
+        }
+        let trace = Trace::new("bad-bypass", uops);
+        let mut p = always_bypass(1);
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.committed_uops, trace.len() as u64);
+        assert!(stats.smb_squashes > 50, "smb squashes {}", stats.smb_squashes);
+        assert!(stats.smb_errors + stats.false_dependencies + stats.correct_no_dep > 0);
+    }
+
+    #[test]
+    fn branch_mispredicts_cost_fetch_cycles() {
+        // A branch whose direction is a pseudo-random coin: mostly
+        // unpredictable. Compare against an always-taken branch.
+        let mk = |rand: bool| {
+            let mut uops = Vec::new();
+            let mut state = 0x1234_5678u64;
+            for _ in 0..3000 {
+                let taken = if rand {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33).is_multiple_of(2)
+                } else {
+                    true
+                };
+                uops.push(Uop::alu(0x100, [None, None], Some(1), 1));
+                uops.push(Uop::branch(0x104, taken, 0x200, Some(1)));
+            }
+            Trace::new("branchy", uops)
+        };
+        let mut p1 = always_no_dep();
+        let predictable = simulate(&mk(false), &golden(), &mut p1);
+        let mut p2 = always_no_dep();
+        let unpredictable = simulate(&mk(true), &golden(), &mut p2);
+        assert!(predictable.branch_mispredicts < 100);
+        assert!(unpredictable.branch_mispredicts > 1000);
+        assert!(
+            predictable.ipc() > unpredictable.ipc() * 1.5,
+            "{} vs {}",
+            predictable.ipc(),
+            unpredictable.ipc()
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = store_load_trace(200, 6);
+        let mut a = always_no_dep();
+        let mut b = always_no_dep();
+        let s1 = simulate(&trace, &golden(), &mut a);
+        let s2 = simulate(&trace, &golden(), &mut b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn lion_cove_is_at_least_as_fast() {
+        let trace = store_load_trace(400, 4);
+        let mut a = mascot_test_oracle();
+        let g = simulate(&trace, &golden(), &mut a).ipc();
+        let mut b = mascot_test_oracle();
+        let l = simulate(&trace, &CoreConfig::lion_cove(), &mut b).ipc();
+        assert!(l >= g * 0.95, "lion cove {l} vs golden cove {g}");
+    }
+
+    #[test]
+    fn commit_counts_match_trace_composition() {
+        let trace = store_load_trace(100, 2);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.committed_loads, 100);
+        assert_eq!(stats.committed_stores, 100);
+        assert_eq!(stats.committed_uops, 400);
+    }
+
+    #[test]
+    fn dependence_census_matches_ground_truth() {
+        // Fast store data: loads issue after the store resolved most of the
+        // time, but the store is still in the SB (drain is post-commit), so
+        // the in-flight dependence census sees nearly every pair.
+        let trace = store_load_trace(200, 1);
+        let mut p = mascot_test_oracle();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert!(
+            stats.class_direct_bypass > 150,
+            "direct-bypass census {}",
+            stats.class_direct_bypass
+        );
+        assert!(stats.dependent_load_fraction() > 0.75);
+    }
+
+    /// Committed stores must remain forwardable during the drain delay:
+    /// a load issuing shortly after the store commits still observes the
+    /// dependence.
+    #[test]
+    fn drain_delay_keeps_stores_forwardable() {
+        let mk = |delay: u32| {
+            let mut cfg = golden();
+            cfg.store_drain_delay = delay;
+            let trace = store_load_trace(200, 1);
+            let mut p = mascot_test_oracle();
+            simulate(&trace, &cfg, &mut p)
+        };
+        let with_delay = mk(40);
+        let without = mk(0);
+        assert!(
+            with_delay.loads_forwarded >= without.loads_forwarded,
+            "delay {} vs none {}",
+            with_delay.loads_forwarded,
+            without.loads_forwarded
+        );
+        // With the delay, nearly every pair is observed in flight.
+        assert!(
+            with_delay.class_direct_bypass > 150,
+            "census {}",
+            with_delay.class_direct_bypass
+        );
+    }
+
+    /// A store-wait prediction (Store Sets serialisation) delays the
+    /// waiting store behind its predicted predecessor.
+    #[test]
+    fn store_store_serialisation_orders_stores() {
+        #[derive(Debug)]
+        struct SerialiseStores;
+        impl MemDepPredictor for SerialiseStores {
+            type Meta = ();
+            fn name(&self) -> &'static str {
+                "serialise"
+            }
+            fn predict(
+                &mut self,
+                _pc: u64,
+                _seq: u64,
+                _oracle: Option<&GroundTruth>,
+            ) -> (MemDepPrediction, ()) {
+                (MemDepPrediction::NoDependence, ())
+            }
+            fn train(&mut self, _: u64, _: (), _: MemDepPrediction, _: &LoadOutcome) {}
+            fn on_branch(&mut self, _: &BranchEvent) {}
+            fn rewind_history(&mut self, _: &[BranchEvent]) {}
+            fn predict_store_wait(&mut self, _pc: u64, _seq: u64) -> Option<StoreDistance> {
+                StoreDistance::new(1) // every store waits for its predecessor
+            }
+            fn storage_bits(&self) -> u64 {
+                0
+            }
+        }
+        // Independent stores whose data arrives at staggered times: without
+        // serialisation they issue in parallel; with it they form a chain.
+        let mut uops = Vec::new();
+        for i in 0..200u64 {
+            uops.push(Uop::alu(0x100, [None, None], Some(1), 8));
+            uops.push(Uop::store(0x110, 0x9000 + i * 64, 8, None, Some(1)));
+        }
+        let trace = Trace::new("stores", uops);
+        let mut serial = SerialiseStores;
+        let chained = simulate(&trace, &golden(), &mut serial);
+        let mut free = always_no_dep();
+        let parallel = simulate(&trace, &golden(), &mut free);
+        assert!(
+            chained.cycles > parallel.cycles,
+            "serialised {} vs parallel {} cycles",
+            chained.cycles,
+            parallel.cycles
+        );
+    }
+
+    /// Stall attribution: a tiny store buffer shows SB-full stalls; the
+    /// default configuration on the same trace does not.
+    #[test]
+    fn stall_attribution_identifies_sb_pressure() {
+        let trace = store_load_trace(300, 1);
+        let mut tiny = golden();
+        tiny.sb_entries = 2;
+        tiny.store_drain_delay = 60;
+        let mut p1 = always_no_dep();
+        let squeezed = simulate(&trace, &tiny, &mut p1);
+        assert!(squeezed.stall_sb > 0, "expected SB-full stalls");
+        let mut p2 = always_no_dep();
+        let roomy = simulate(&trace, &golden(), &mut p2);
+        assert_eq!(roomy.stall_sb, 0);
+        assert!(roomy.ipc() > squeezed.ipc());
+    }
+
+    /// The dispatch-stall taxonomy never exceeds total cycles.
+    #[test]
+    fn stall_counters_are_bounded_by_cycles() {
+        let trace = store_load_trace(200, 6);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert!(stats.total_dispatch_stalls() <= stats.cycles);
+        assert!(stats.stall_frontend <= stats.cycles);
+    }
+
+    /// A tiny load queue throttles in-flight loads and is attributed as an
+    /// LQ stall.
+    #[test]
+    fn lq_pressure_is_attributed() {
+        let mut cfg = golden();
+        cfg.lq_entries = 2;
+        // Loads with long memory latency keep the LQ full.
+        let uops: Vec<Uop> = (0..600)
+            .map(|i| Uop::load(0x100 + (i % 8) * 16, 0x100_0000 + i * 4096, 8, None, 1, None))
+            .collect();
+        let trace = Trace::new("lq", uops);
+        let mut p = always_no_dep();
+        let squeezed = simulate(&trace, &cfg, &mut p);
+        assert!(squeezed.stall_lq > 0, "expected LQ stalls");
+        let mut p2 = always_no_dep();
+        let roomy = simulate(&trace, &golden(), &mut p2);
+        assert!(roomy.ipc() >= squeezed.ipc());
+    }
+
+    /// Cold instruction fetch stalls the frontend; steady-state re-use of
+    /// the same lines does not.
+    #[test]
+    fn icache_misses_only_stall_cold_code() {
+        let uops: Vec<Uop> = (0..4000)
+            .map(|i| Uop::alu(0x100 + (i % 64) * 4, [None, None], Some(1), 1))
+            .collect();
+        let trace = Trace::new("hot-code", uops);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        // 64 PCs over 4-byte spacing = 4 lines: a handful of cold misses.
+        assert!(stats.l1i_misses <= 8, "l1i misses {}", stats.l1i_misses);
+    }
+
+    /// Tuning periods fire and flush: the predictor sees at least one
+    /// end_tuning_period call per period plus the final flush.
+    #[test]
+    fn tuning_period_hook_fires() {
+        #[derive(Debug)]
+        struct CountPeriods(u32);
+        impl MemDepPredictor for CountPeriods {
+            type Meta = ();
+            fn name(&self) -> &'static str {
+                "count"
+            }
+            fn predict(
+                &mut self,
+                _pc: u64,
+                _seq: u64,
+                _oracle: Option<&GroundTruth>,
+            ) -> (MemDepPrediction, ()) {
+                (MemDepPrediction::NoDependence, ())
+            }
+            fn train(&mut self, _: u64, _: (), _: MemDepPrediction, _: &LoadOutcome) {}
+            fn on_branch(&mut self, _: &BranchEvent) {}
+            fn rewind_history(&mut self, _: &[BranchEvent]) {}
+            fn storage_bits(&self) -> u64 {
+                0
+            }
+            fn end_tuning_period(&mut self) {
+                self.0 += 1;
+            }
+        }
+        let trace = store_load_trace(100, 1);
+        let mut p = CountPeriods(0);
+        let stats = Simulator::new(&trace, &golden(), &mut p)
+            .with_tuning_period(50)
+            .run();
+        let expected_min = stats.cycles / 50;
+        assert!(
+            u64::from(p.0) >= expected_min,
+            "periods {} vs cycles {}",
+            p.0,
+            stats.cycles
+        );
+    }
+}

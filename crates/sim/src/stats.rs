@@ -1,0 +1,204 @@
+//! Simulation statistics: IPC, prediction/misprediction taxonomy, squash
+//! counts and the per-class dependence census used by Fig. 2.
+
+use mascot::prediction::BypassClass;
+use serde::{Deserialize, Serialize};
+
+/// Counters produced by one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed micro-ops.
+    pub committed_uops: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed branches.
+    pub committed_branches: u64,
+
+    /// Loads predicted independent (Fig. 10 left).
+    pub pred_no_dep: u64,
+    /// Loads predicted dependent without bypassing (MDP).
+    pub pred_mdp: u64,
+    /// Loads predicted dependent with bypassing (SMB).
+    pub pred_smb: u64,
+
+    /// Committed loads predicted independent that had an in-flight
+    /// dependence (speculative errors; cause squashes).
+    pub missed_dependencies: u64,
+    /// Committed loads predicted dependent that had no in-flight dependence
+    /// (false dependencies; MDP-only cost is a needless stall).
+    pub false_dependencies: u64,
+    /// Committed loads predicted dependent on the wrong store.
+    pub wrong_store: u64,
+    /// Committed loads whose bypass prediction was wrong in any way
+    /// (always squashes).
+    pub smb_errors: u64,
+    /// Correct dependence predictions.
+    pub correct_mdp: u64,
+    /// Correct bypass predictions.
+    pub correct_smb: u64,
+    /// Correct independence predictions.
+    pub correct_no_dep: u64,
+
+    /// Pipeline squashes from memory-order violations.
+    pub mem_order_squashes: u64,
+    /// Pipeline squashes from failed speculative bypasses.
+    pub smb_squashes: u64,
+    /// Conditional-branch mispredictions (frontend stalls).
+    pub branch_mispredicts: u64,
+    /// Indirect-target mispredictions.
+    pub indirect_mispredicts: u64,
+
+    /// Loads that obtained their value through speculative bypassing.
+    pub loads_bypassed: u64,
+    /// Loads that forwarded from an in-flight store (STLF).
+    pub loads_forwarded: u64,
+    /// Loads serviced by the cache hierarchy.
+    pub loads_from_cache: u64,
+
+    /// Ground-truth dependence census at commit (Fig. 2): in-flight
+    /// dependencies by class.
+    pub class_direct_bypass: u64,
+    /// In-flight `NoOffset` dependencies.
+    pub class_no_offset: u64,
+    /// In-flight `Offset` dependencies.
+    pub class_offset: u64,
+    /// In-flight partial (`MdpOnly`) dependencies.
+    pub class_mdp_only: u64,
+
+    /// Σ cycles spent between dispatch and issue by committed uops that
+    /// consume at least one load result (§VI-A's issue-wait analysis).
+    pub dependent_wait_cycles: u64,
+    /// Count of such uops.
+    pub dependent_wait_count: u64,
+
+    /// Cycles the frontend dispatched nothing because fetch was redirected
+    /// or stalled (branch mispredicts, squash refills, I-cache misses).
+    pub stall_frontend: u64,
+    /// Cycles dispatch was blocked by a full ROB.
+    pub stall_rob: u64,
+    /// Cycles dispatch was blocked by a full issue queue.
+    pub stall_iq: u64,
+    /// Cycles dispatch was blocked by a full load queue.
+    pub stall_lq: u64,
+    /// Cycles dispatch was blocked by a full store buffer.
+    pub stall_sb: u64,
+
+    /// L1 instruction-cache demand misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache demand misses.
+    pub l1d_misses: u64,
+    /// L2 demand misses.
+    pub l2_misses: u64,
+    /// L3 demand misses (DRAM accesses).
+    pub l3_misses: u64,
+}
+
+impl SimStats {
+    /// Instructions (micro-ops) per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory-dependence mispredictions (Fig. 8's bar height):
+    /// missed + false + wrong-store + SMB errors.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.missed_dependencies + self.false_dependencies + self.wrong_store + self.smb_errors
+    }
+
+    /// Mispredictions that require a squash ("speculative errors" in
+    /// Fig. 8): missed dependencies, wrong-store conflicts and SMB errors.
+    pub fn speculative_errors(&self) -> u64 {
+        self.missed_dependencies + self.wrong_store + self.smb_errors
+    }
+
+    /// Memory-dependence mispredictions per kilo-instruction.
+    pub fn mdp_mpki(&self) -> f64 {
+        mascot_stats::summary::mpki(self.total_mispredictions(), self.committed_uops)
+    }
+
+    /// Average dispatch→issue wait of load-consuming uops (§VI-A).
+    pub fn avg_dependent_wait(&self) -> f64 {
+        if self.dependent_wait_count == 0 {
+            0.0
+        } else {
+            self.dependent_wait_cycles as f64 / self.dependent_wait_count as f64
+        }
+    }
+
+    /// Fraction of committed loads with an in-flight dependence of `class`.
+    pub fn class_fraction(&self, class: BypassClass) -> f64 {
+        if self.committed_loads == 0 {
+            return 0.0;
+        }
+        let n = match class {
+            BypassClass::DirectBypass => self.class_direct_bypass,
+            BypassClass::NoOffset => self.class_no_offset,
+            BypassClass::Offset => self.class_offset,
+            BypassClass::MdpOnly => self.class_mdp_only,
+        };
+        n as f64 / self.committed_loads as f64
+    }
+
+    /// Cycles with zero dispatch, attributed to the first blocking reason.
+    pub fn total_dispatch_stalls(&self) -> u64 {
+        self.stall_frontend + self.stall_rob + self.stall_iq + self.stall_lq + self.stall_sb
+    }
+
+    /// Fraction of committed loads with any in-flight dependence (Fig. 2's
+    /// bar height).
+    pub fn dependent_load_fraction(&self) -> f64 {
+        if self.committed_loads == 0 {
+            return 0.0;
+        }
+        (self.class_direct_bypass + self.class_no_offset + self.class_offset + self.class_mdp_only)
+            as f64
+            / self.committed_loads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn taxonomy_sums() {
+        let s = SimStats {
+            missed_dependencies: 3,
+            false_dependencies: 5,
+            wrong_store: 2,
+            smb_errors: 1,
+            committed_uops: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.total_mispredictions(), 11);
+        assert_eq!(s.speculative_errors(), 6);
+        assert!((s.mdp_mpki() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_fractions() {
+        let s = SimStats {
+            committed_loads: 100,
+            class_direct_bypass: 30,
+            class_no_offset: 10,
+            class_offset: 5,
+            class_mdp_only: 5,
+            ..Default::default()
+        };
+        assert!((s.class_fraction(BypassClass::DirectBypass) - 0.3).abs() < 1e-12);
+        assert!((s.dependent_load_fraction() - 0.5).abs() < 1e-12);
+    }
+}

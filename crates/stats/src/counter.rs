@@ -1,0 +1,170 @@
+//! Bounded saturating counters.
+//!
+//! Every predictor in the paper is built from small saturating counters: the
+//! 3-bit usefulness and 2-bit bypass counters of a MASCOT entry (Fig. 6), the
+//! 4-bit usefulness counter of PHAST, the 7-bit confidence counter of NoSQ
+//! and the direction counters of the TAGE branch predictor.
+
+use serde::{Deserialize, Serialize};
+
+/// An unsigned saturating counter with a compile-time-unknown bit width.
+///
+/// The counter holds values in `0..=max()` where `max() == 2^bits - 1`.
+/// Increments and decrements saturate instead of wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use mascot_stats::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::new(2, 0);
+/// assert_eq!(c.max(), 3);
+/// c.increment();
+/// c.increment();
+/// c.increment();
+/// c.increment(); // saturates at 3
+/// assert!(c.is_saturated());
+/// c.reset();
+/// assert_eq!(c.value(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with the given bit width and initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7, or if `initial` exceeds the
+    /// maximum representable value.
+    pub fn new(bits: u8, initial: u8) -> Self {
+        assert!(bits > 0 && bits <= 7, "counter width must be in 1..=7 bits");
+        let max = (1u8 << bits) - 1;
+        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        Self { value: initial, max }
+    }
+
+    /// Current counter value.
+    #[inline]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Largest representable value (`2^bits - 1`).
+    #[inline]
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// True when the counter is at its maximum value.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// True when the counter is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Increments, saturating at the maximum.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Resets the counter to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Sets the counter to an explicit value, clamping to the valid range.
+    #[inline]
+    pub fn set(&mut self, value: u8) {
+        self.value = value.min(self.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_respects_bits_and_initial() {
+        let c = SaturatingCounter::new(3, 6);
+        assert_eq!(c.value(), 6);
+        assert_eq!(c.max(), 7);
+        assert!(!c.is_saturated());
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn increment_saturates() {
+        let mut c = SaturatingCounter::new(2, 3);
+        c.increment();
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn decrement_saturates_at_zero() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.decrement();
+        assert_eq!(c.value(), 0);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.set(17);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = SaturatingCounter::new(7, 100);
+        c.reset();
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_bits_rejected() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn oversized_initial_rejected() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+
+    #[test]
+    fn full_up_down_walk() {
+        let mut c = SaturatingCounter::new(3, 0);
+        for expected in 1..=7u8 {
+            c.increment();
+            assert_eq!(c.value(), expected);
+        }
+        for expected in (0..7u8).rev() {
+            c.decrement();
+            assert_eq!(c.value(), expected);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics utilities for the MASCOT reproduction.
+//!
+//! This crate hosts the small, dependency-free numerical pieces shared by the
+//! predictor crates, the simulator and the benchmark harness:
+//!
+//! * [`SaturatingCounter`] — the bounded confidence counters used by every
+//!   predictor in the paper (usefulness, bypass, branch-direction counters).
+//! * [`ConfusionMatrix`] and [`F1Accumulator`] — precision / recall / F1
+//!   bookkeeping used by the §IV-F tuning methodology (Figs. 13–14).
+//! * [`markov`] — expected-hitting-time analysis of saturating counters,
+//!   reproducing the paper's footnote 1 (a 3-bit counter at a 70/30 mix needs
+//!   ≈1,625 predictions to decay to zero).
+//! * [`summary`] — geometric means, MPKI and other aggregate helpers used to
+//!   report the evaluation figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use mascot_stats::SaturatingCounter;
+//!
+//! let mut u = SaturatingCounter::new(3, 6); // 3-bit counter, initial value 6
+//! u.increment();
+//! assert_eq!(u.value(), 7);
+//! u.increment(); // saturates
+//! assert_eq!(u.value(), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod confusion;
+pub mod counter;
+pub mod markov;
+pub mod summary;
+
+pub use confusion::{ConfusionMatrix, F1Accumulator};
+pub use counter::SaturatingCounter;

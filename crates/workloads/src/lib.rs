@@ -1,0 +1,28 @@
+//! # mascot-workloads — synthetic SPEC CPU 2017-like trace generators
+//!
+//! The paper evaluates on SPEC CPU 2017 SimPoints, which are not
+//! redistributable; this crate provides parameterised synthetic equivalents
+//! that exercise the same predictor code paths (see DESIGN.md §1 for the
+//! substitution rationale). Each benchmark is a [`WorkloadProfile`]
+//! controlling alias frequency, store-distance structure, branch-correlated
+//! dependence patterns and the Fig. 2 class mix; [`generate`] lowers a
+//! profile into a micro-op [`mascot_sim::Trace`] with exact ground-truth
+//! dependence annotations.
+//!
+//! ```
+//! use mascot_workloads::{generate, spec};
+//!
+//! let profile = spec::profile("perlbench2").expect("known benchmark");
+//! let trace = generate(&profile, 1, 50_000);
+//! assert_eq!(trace.name, "perlbench2");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod profile;
+pub mod spec;
+
+pub use generator::{generate, TraceBuilder};
+pub use profile::{ClassMix, WorkloadProfile};

@@ -1,0 +1,91 @@
+//! Quickstart: drive the MASCOT predictor directly.
+//!
+//! Builds the default 14 KiB predictor and teaches it the paper's §III-A
+//! scenario — a load whose dependence on a prior store is determined by the
+//! most recent branch direction — then shows that it predicts both contexts
+//! correctly while a decay-only TAGE (the Fig. 11 ablation) keeps emitting
+//! false dependencies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mascot::{
+    BranchEvent, BranchKind, BypassClass, LoadOutcome, Mascot, MascotConfig, MemDepPredictor,
+    ObservedDependence, StoreDistance,
+};
+
+fn branch(taken: bool) -> BranchEvent {
+    BranchEvent {
+        pc: 0x400_500,
+        kind: BranchKind::Conditional,
+        taken,
+        target: 0x400_540,
+    }
+}
+
+fn dependent_outcome() -> LoadOutcome {
+    LoadOutcome::dependent(ObservedDependence {
+        distance: StoreDistance::new(1).expect("1 is a valid distance"),
+        class: BypassClass::DirectBypass,
+        store_pc: 0x400_520,
+        branches_between: 1,
+    })
+}
+
+/// Runs the §III-A pattern for `rounds` rounds and returns
+/// (correct predictions, false dependencies) over the final half.
+fn run_pattern(p: &mut impl MemDepPredictor, rounds: u32) -> (u32, u32) {
+    let load_pc = 0x400_600;
+    let mut correct = 0;
+    let mut false_deps = 0;
+    for round in 0..rounds {
+        // 70 % taken, deterministic: taken unless round % 10 < 3.
+        let taken = round % 10 >= 3;
+        p.on_branch(&branch(taken));
+        let (pred, meta) = p.predict(load_pc, 0, None);
+        let outcome = if taken {
+            dependent_outcome()
+        } else {
+            LoadOutcome::independent()
+        };
+        if round >= rounds / 2 {
+            if pred.is_dependence() == outcome.is_dependent() {
+                correct += 1;
+            }
+            if pred.is_dependence() && !outcome.is_dependent() {
+                false_deps += 1;
+            }
+        }
+        p.train(load_pc, meta, pred, &outcome);
+    }
+    (correct, false_deps)
+}
+
+fn main() {
+    let rounds = 2_000;
+    let measured = rounds / 2;
+
+    let mut mascot = Mascot::new(MascotConfig::default()).expect("valid default config");
+    println!(
+        "MASCOT: {} tables, {:.1} KiB of state",
+        mascot.config().num_tables(),
+        mascot.storage_kib()
+    );
+    let (correct, false_deps) = run_pattern(&mut mascot, rounds);
+    println!(
+        "  branch-conditional dependence: {correct}/{measured} correct, {false_deps} false dependencies"
+    );
+    println!(
+        "  non-dependence entries allocated: {}",
+        mascot.stats().nondep_allocations
+    );
+
+    let mut ablation =
+        Mascot::without_non_dependence_allocation(MascotConfig::default()).expect("valid config");
+    let (correct, false_deps) = run_pattern(&mut ablation, rounds);
+    println!("\nTAGE without non-dependence allocation (Fig. 11 ablation):");
+    println!(
+        "  branch-conditional dependence: {correct}/{measured} correct, {false_deps} false dependencies"
+    );
+    println!("\nMASCOT learns the not-taken context as an explicit non-dependence entry;");
+    println!("the ablation can only decay confidence, so the false dependencies persist.");
+}

@@ -1,0 +1,65 @@
+//! The §IV-F tuning workflow: measure per-slot F1 utilisation, derive a
+//! sizing, and check the resulting compact predictor.
+//!
+//! Run with: `cargo run --release --example tuning`
+
+use mascot::config::MascotConfig;
+use mascot::predictor::Mascot;
+use mascot::MemDepPredictor;
+use mascot_bench::run_with_predictor;
+use mascot_predictors::AnyPredictor;
+use mascot_sim::CoreConfig;
+use mascot_workloads::spec;
+
+fn main() {
+    let core = CoreConfig::golden_cove();
+    let profile = spec::profile("perlbench2").expect("known benchmark");
+
+    // 1. Run MASCOT with tuning instrumentation (F1 per slot, periodic
+    //    snapshots as in §IV-F).
+    let cfg = MascotConfig::default().with_tuning();
+    let mut p = AnyPredictor::Mascot(Mascot::new(cfg).expect("valid config"));
+    let r = run_with_predictor(&profile, &mut p, &core, 150_000, 2025, Some(25_000));
+    println!("instrumented run: IPC {:.3}\n", r.stats.ipc());
+
+    let mascot = p.as_mascot().expect("mascot");
+    let tuning = mascot.tuning().expect("tuning enabled");
+    println!("slot utilisation per table (fraction with average F1 >= 0.1):");
+    for t in 0..tuning.num_tables() {
+        let frac = tuning.useful_fraction(t, 0.1);
+        let bar: String = std::iter::repeat_n('#', (frac * 40.0) as usize).collect();
+        println!(
+            "  T{} (history {:>3}): {:>5.1}%  {bar}",
+            t + 1,
+            mascot.config().history_lengths[t],
+            frac * 100.0
+        );
+    }
+
+    // 2. The paper's conclusion from these curves is MASCOT-OPT: grow the
+    //    PC-indexed table, shrink the long-history ones.
+    let opt = MascotConfig::opt();
+    println!(
+        "\nMASCOT-OPT sizing: tables {:?} (default was 512 each)",
+        opt.table_entries
+    );
+    println!(
+        "storage: {:.1} KiB -> {:.1} KiB ({:.0}% smaller); tag-4 variant: {:.1} KiB",
+        MascotConfig::default().storage_kib(),
+        opt.storage_kib(),
+        (1.0 - opt.storage_bits() as f64 / MascotConfig::default().storage_bits() as f64) * 100.0,
+        MascotConfig::opt_with_tag_reduction(4).storage_kib()
+    );
+
+    // 3. Verify the compact predictor holds performance on this benchmark.
+    let mut compact = AnyPredictor::Mascot(
+        Mascot::new(MascotConfig::opt_with_tag_reduction(4)).expect("valid config"),
+    );
+    let rc = run_with_predictor(&profile, &mut compact, &core, 150_000, 2025, None);
+    println!(
+        "\ncompact 10.1 KiB MASCOT: IPC {:.3} ({:+.2}% vs instrumented 14 KiB run)",
+        rc.stats.ipc(),
+        (rc.stats.ipc() / r.stats.ipc() - 1.0) * 100.0
+    );
+    let _ = compact.storage_kib();
+}

@@ -1,0 +1,7 @@
+//! Workspace-root crate re-exporting the MASCOT reproduction stack for examples and integration tests.
+pub use mascot;
+pub use mascot_bench;
+pub use mascot_predictors;
+pub use mascot_sim;
+pub use mascot_stats;
+pub use mascot_workloads;

@@ -1,0 +1,220 @@
+//! Property-based tests over the full stack: arbitrary (but well-formed)
+//! traces and outcome streams must never break the simulator or the
+//! predictors, and core invariants must hold for all inputs.
+
+use mascot::{
+    BypassClass, LoadOutcome, Mascot, MascotConfig, MemDepPredictor, MemDepPrediction,
+    ObservedDependence, StoreDistance,
+};
+use mascot_predictors::{NoSq, Phast, StoreSets};
+use mascot_sim::{simulate, CoreConfig, Trace};
+use mascot_workloads::{generate, WorkloadProfile};
+use proptest::prelude::*;
+
+/// A random well-formed micro-op stream: stores and loads over a small slot
+/// space (creating genuine aliasing), branches, and ALU ops.
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    let op = prop_oneof![
+        // (kind selector, slot, reg, taken)
+        (0u8..=3, 0u64..12, 0u8..16, any::<bool>()),
+    ];
+    proptest::collection::vec(op, 1..max_len).prop_map(|ops| {
+        let mut b = mascot_workloads::TraceBuilder::new();
+        for (i, (kind, slot, reg, taken)) in ops.into_iter().enumerate() {
+            let pc = 0x1000 + (i as u64 % 97) * 4;
+            let addr = 0x10_0000 + slot * 8;
+            match kind {
+                0 => b.alu(pc, [Some(reg), None], Some(reg.wrapping_add(1) % 16), 1 + (slot as u8 % 3)),
+                1 => b.store(pc, addr, 8, reg),
+                2 => b.load(pc, addr, 8, reg, None),
+                _ => b.branch(pc, taken, None),
+            }
+        }
+        b.build("prop")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed trace commits fully under any predictor, and the
+    /// census counters stay consistent.
+    #[test]
+    fn simulator_commits_every_wellformed_trace(trace in arb_trace(400)) {
+        prop_assume!(!trace.is_empty());
+        trace.validate().expect("builder produces consistent ground truth");
+        let core = CoreConfig::golden_cove();
+        let mut p = Mascot::new(MascotConfig::default()).unwrap();
+        let stats = simulate(&trace, &core, &mut p);
+        prop_assert_eq!(stats.committed_uops, trace.len() as u64);
+        prop_assert_eq!(stats.committed_loads, trace.num_loads() as u64);
+        prop_assert_eq!(stats.committed_stores, trace.num_stores() as u64);
+        prop_assert_eq!(stats.committed_branches, trace.num_branches() as u64);
+        // Every committed load is classified exactly once.
+        let classified = stats.correct_no_dep
+            + stats.correct_mdp
+            + stats.correct_smb
+            + stats.missed_dependencies
+            + stats.false_dependencies
+            + stats.wrong_store
+            + stats.smb_errors;
+        prop_assert_eq!(classified, stats.committed_loads);
+        // Prediction census covers every load too.
+        prop_assert_eq!(
+            stats.pred_no_dep + stats.pred_mdp + stats.pred_smb,
+            stats.committed_loads
+        );
+        prop_assert_eq!(
+            stats.loads_bypassed + stats.loads_forwarded + stats.loads_from_cache,
+            stats.committed_loads
+        );
+    }
+
+    /// Arbitrary (prediction, outcome) streams never panic any predictor,
+    /// and storage cost is invariant under training.
+    #[test]
+    fn predictors_survive_arbitrary_training(
+        steps in proptest::collection::vec(
+            (0u64..64, proptest::option::of((1u32..100, 0u8..4, 0u64..32, 0u32..40))),
+            1..300
+        )
+    ) {
+        let mut mascot = Mascot::new(MascotConfig::default()).unwrap();
+        let mut phast = Phast::default();
+        let mut nosq = NoSq::default();
+        let mut sets = StoreSets::default();
+        let bits = (
+            mascot.storage_bits(),
+            phast.storage_bits(),
+            nosq.storage_bits(),
+            sets.storage_bits(),
+        );
+        for (pc_sel, dep) in steps {
+            let pc = 0x4000 + pc_sel * 4;
+            let outcome = match dep {
+                None => LoadOutcome::independent(),
+                Some((dist, class, store_sel, branches)) => {
+                    let class = match class {
+                        0 => BypassClass::DirectBypass,
+                        1 => BypassClass::NoOffset,
+                        2 => BypassClass::Offset,
+                        _ => BypassClass::MdpOnly,
+                    };
+                    LoadOutcome::dependent(ObservedDependence {
+                        distance: StoreDistance::new(dist).unwrap(),
+                        class,
+                        store_pc: 0x9000 + store_sel * 4,
+                        branches_between: branches,
+                    })
+                }
+            };
+            let (p1, m1) = mascot.predict(pc, 1000, None);
+            mascot.train(pc, m1, p1, &outcome);
+            let (p2, m2) = phast.predict(pc, 1000, None);
+            phast.train(pc, m2, p2, &outcome);
+            let (p3, m3) = nosq.predict(pc, 1000, None);
+            nosq.train(pc, m3, p3, &outcome);
+            let (p4, m4) = sets.predict(pc, 1000, None);
+            sets.train(pc, m4, p4, &outcome);
+        }
+        prop_assert_eq!(bits.0, mascot.storage_bits());
+        prop_assert_eq!(bits.1, phast.storage_bits());
+        prop_assert_eq!(bits.2, nosq.storage_bits());
+        prop_assert_eq!(bits.3, sets.storage_bits());
+    }
+
+    /// MASCOT's prediction is always internally consistent: bypass implies
+    /// dependence, and non-dependence carries no distance.
+    #[test]
+    fn mascot_prediction_invariants(
+        pcs in proptest::collection::vec(0u64..32, 1..200),
+        dep_every in 1u64..5
+    ) {
+        let mut p = Mascot::new(MascotConfig::default()).unwrap();
+        for (i, pc_sel) in pcs.iter().enumerate() {
+            let pc = 0x100 + pc_sel * 4;
+            let (pred, meta) = p.predict(pc, i as u64, None);
+            match pred {
+                MemDepPrediction::NoDependence => prop_assert!(pred.distance().is_none()),
+                MemDepPrediction::Dependence { .. } => prop_assert!(!pred.is_bypass()),
+                MemDepPrediction::Bypass { .. } => prop_assert!(pred.is_dependence()),
+            }
+            let outcome = if (i as u64).is_multiple_of(dep_every) {
+                LoadOutcome::dependent(ObservedDependence {
+                    distance: StoreDistance::new(1 + (i as u32 % 7)).unwrap(),
+                    class: BypassClass::DirectBypass,
+                    store_pc: 0x900,
+                    branches_between: 0,
+                })
+            } else {
+                LoadOutcome::independent()
+            };
+            p.train(pc, meta, pred, &outcome);
+        }
+    }
+
+    /// Workload generation is total over the valid profile space and always
+    /// yields consistent ground truth.
+    #[test]
+    fn generator_is_total_over_profiles(
+        hammocks in 0usize..4,
+        spills in 0usize..4,
+        streams in 1usize..6,
+        noise in 0usize..4,
+        ctx in 1usize..6,
+        chase in 0usize..3,
+        chain in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let profile = WorkloadProfile {
+            hammocks,
+            spill_fills: spills,
+            stream_loads: streams,
+            chase_loads: chase,
+            noise_branches: noise,
+            code_contexts: ctx,
+            store_chase: chain,
+            ..WorkloadProfile::base("prop")
+        };
+        prop_assume!(profile.validate().is_ok());
+        let trace = generate(&profile, seed, 3_000);
+        prop_assert!(trace.len() >= 3_000);
+        trace.validate().map_err(TestCaseError::fail)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The binary trace codec is lossless over arbitrary generated
+    /// workloads.
+    #[test]
+    fn codec_roundtrips_generated_traces(
+        seed in 0u64..500,
+        hammocks in 0usize..3,
+        chain in 0usize..3,
+    ) {
+        let profile = WorkloadProfile {
+            hammocks,
+            store_chase: chain,
+            ..WorkloadProfile::base("codec-prop")
+        };
+        let trace = generate(&profile, seed, 2_000);
+        let bytes = mascot_sim::codec::encode(&trace);
+        let back = mascot_sim::codec::decode(&bytes).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(trace.name, back.name);
+        prop_assert_eq!(trace.uops, back.uops);
+    }
+
+    /// Single-byte corruption of an encoded trace never panics the decoder:
+    /// it either errors out or yields a (different but) well-formed trace.
+    #[test]
+    fn codec_survives_corruption(pos_frac in 0.0f64..1.0, byte in 0u8..=255) {
+        let profile = WorkloadProfile::base("codec-corrupt");
+        let trace = generate(&profile, 7, 500);
+        let mut bytes = mascot_sim::codec::encode(&trace);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = byte;
+        let _ = mascot_sim::codec::decode(&bytes); // must not panic
+    }
+}
