@@ -1,9 +1,11 @@
-//! Criterion microbenchmarks: predict+train throughput of each predictor.
+//! Std-only microbenchmarks: predict+train throughput of each predictor.
 //!
 //! These measure the software model's cost (relevant when running the full
-//! experiment sweep), not hardware latency.
+//! experiment sweep), not hardware latency. Run with
+//! `cargo bench --bench predictors`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use mascot::{BypassClass, LoadOutcome, MemDepPredictor, ObservedDependence, StoreDistance};
 use mascot_bench::PredictorKind;
 use mascot_predictors::AnyPredictor;
@@ -47,9 +49,10 @@ fn drive(p: &mut AnyPredictor, stream: &[(u64, LoadOutcome)]) {
     }
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn main() {
     let stream = training_stream(4096);
-    let mut group = c.benchmark_group("predict_train_4k_loads");
+    let iters = 20u32;
+    println!("predict_train_4k_loads ({iters} iterations per predictor)");
     for kind in [
         PredictorKind::Mascot,
         PredictorKind::MascotOpt(4),
@@ -57,16 +60,20 @@ fn bench_predictors(c: &mut Criterion) {
         PredictorKind::NoSq,
         PredictorKind::StoreSets,
     ] {
-        group.bench_function(kind.label(), |b| {
-            b.iter_batched(
-                || kind.build(),
-                |mut p| drive(&mut p, &stream),
-                BatchSize::LargeInput,
-            )
-        });
+        // Warm-up run.
+        drive(&mut kind.build(), &stream);
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let mut p = kind.build();
+            let t0 = Instant::now();
+            drive(&mut p, &stream);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!(
+            "  {:<18} {:>8.1} µs  {:>8.2} Mloads/s",
+            kind.label(),
+            best * 1e6,
+            stream.len() as f64 / best / 1e6
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);

@@ -1,29 +1,40 @@
-//! Criterion benchmark: end-to-end simulator throughput (simulated µops per
+//! Std-only benchmark: end-to-end simulator throughput (simulated µops per
 //! wall-clock second) with the MASCOT predictor attached.
+//!
+//! Run with `cargo bench --bench simulator`. For the committed perf
+//! trajectory, use the `throughput` binary instead, which writes
+//! `BENCH_sim_throughput.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
 use mascot_bench::PredictorKind;
 use mascot_sim::{simulate, CoreConfig};
 use mascot_workloads::{generate, spec};
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     let core = CoreConfig::golden_cove();
     let uops = 40_000usize;
-    let mut group = c.benchmark_group("simulate_40k_uops");
-    group.sample_size(10);
+    let iters = 5u32;
+    println!("simulate_40k_uops ({iters} iterations per benchmark)");
     for name in ["perlbench2", "bwaves", "mcf"] {
         let profile = spec::profile(name).expect("known benchmark");
         let trace = generate(&profile, 2025, uops);
-        group.throughput(Throughput::Elements(trace.len() as u64));
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut p = PredictorKind::Mascot.build();
-                simulate(&trace, &core, &mut p)
-            })
-        });
+        // Warm-up run.
+        let mut p = PredictorKind::Mascot.build();
+        simulate(&trace, &core, &mut p);
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let mut p = PredictorKind::Mascot.build();
+            let t0 = Instant::now();
+            let stats = simulate(&trace, &core, &mut p);
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(stats.committed_uops >= uops as u64);
+            best = best.min(dt);
+        }
+        println!(
+            "  {name:<12} {:>8.1} ms  {:>8.2} Muops/s",
+            best * 1e3,
+            trace.len() as f64 / best / 1e6
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

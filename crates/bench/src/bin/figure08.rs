@@ -38,7 +38,7 @@ fn main() {
         }
         totals.insert(label.clone(), (total, false_d, spec_e));
         t.row([
-            label,
+            label.into_owned(),
             count(total),
             count(false_d),
             count(spec_e),

@@ -52,7 +52,7 @@ fn main() {
             .sum();
         let kib = find(&results, &benches[0], &label).unwrap().storage_kib;
         t.row([
-            label.clone(),
+            label.clone().into_owned(),
             format!("{kib:.2}"),
             format!("{:+.1}%", (kib / 14.0 - 1.0) * 100.0),
             format!("{:+.3}%", (gm / baseline - 1.0) * 100.0),

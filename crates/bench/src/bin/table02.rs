@@ -16,7 +16,7 @@ fn main() {
     for (kind, desc) in kinds {
         let p = kind.build();
         t.row([
-            kind.label(),
+            kind.label().into_owned(),
             format!("{:.2}", p.storage_kib()),
             p.storage_bits().to_string(),
             desc.to_string(),

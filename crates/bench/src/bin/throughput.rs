@@ -1,0 +1,170 @@
+//! Simulator throughput trajectory: simulated µops per wall-clock second,
+//! per predictor, on the default suite.
+//!
+//! Modes:
+//!
+//! - `throughput` — measure and rewrite `BENCH_sim_throughput.json` at the
+//!   repository root (the committed baseline for future PRs).
+//! - `throughput --check` — measure and compare against the committed
+//!   baseline; exits non-zero if aggregate throughput regressed by more
+//!   than 10%. Per-row numbers are printed but not gated: single
+//!   (benchmark, predictor) cells are too noisy for a hard threshold.
+//!
+//! Traces come from the harness-wide cache ([`mascot_bench::cached_trace`]),
+//! so each workload is generated once and shared across predictors and
+//! repeat runs; the measured window covers simulation only.
+
+use std::fmt::Write as _;
+
+use mascot_bench::{run_one, table, PredictorKind, RunResult, TextTable};
+use mascot_sim::CoreConfig;
+use mascot_workloads::spec;
+
+/// The default suite: one pointer-chasing, one streaming, and one
+/// cache-resident control-heavy profile — the three throughput regimes.
+const WORKLOADS: [&str; 3] = ["perlbench2", "bwaves", "mcf"];
+const KINDS: [PredictorKind; 3] = [
+    PredictorKind::Mascot,
+    PredictorKind::NoSq,
+    PredictorKind::StoreSets,
+];
+const UOPS: usize = 40_000;
+const SEED: u64 = 2025;
+/// Timed repetitions per cell (plus one untimed warm-up); best-of wins.
+/// Five keeps run-to-run noise on a loaded host well inside the
+/// regression tolerance.
+const ITERS: usize = 5;
+
+/// Allowed aggregate slowdown vs the committed baseline in `--check` mode.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+const BASELINE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_sim_throughput.json"
+);
+
+fn measure() -> (Vec<RunResult>, f64) {
+    let core = CoreConfig::golden_cove();
+    let mut rows = Vec::new();
+    let (mut total_uops, mut total_secs) = (0.0f64, 0.0f64);
+    for name in WORKLOADS {
+        let profile = spec::profile(name).expect("known benchmark");
+        for kind in KINDS {
+            let mut best: Option<RunResult> = None;
+            // Iteration 0 is the warm-up (cold caches, first-touch trace
+            // generation) and is discarded.
+            for iter in 0..=ITERS {
+                let r = run_one(&profile, kind, &core, UOPS, SEED);
+                if iter > 0 && best.as_ref().is_none_or(|b| r.wall_ms < b.wall_ms) {
+                    best = Some(r);
+                }
+            }
+            let best = best.expect("at least one timed iteration");
+            total_uops += best.stats.committed_uops as f64;
+            total_secs += best.wall_ms / 1e3;
+            rows.push(best);
+        }
+    }
+    let aggregate = total_uops / total_secs;
+    (rows, aggregate)
+}
+
+fn render(rows: &[RunResult], aggregate: f64) -> String {
+    let mut t = TextTable::new(["benchmark", "predictor", "wall", "Muops/s"]);
+    for r in rows {
+        t.row([
+            r.benchmark.clone(),
+            r.predictor.clone(),
+            table::ms(r.wall_ms),
+            table::muops_per_sec(r.uops_per_sec),
+        ]);
+    }
+    format!(
+        "{}aggregate: {} Muops/s ({} uops, best of {ITERS}, seed {SEED})\n",
+        t.render(),
+        table::muops_per_sec(aggregate),
+        UOPS
+    )
+}
+
+fn to_json(rows: &[RunResult], aggregate: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"uops\": {UOPS},");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"iterations\": {ITERS},");
+    let _ = writeln!(s, "  \"aggregate_uops_per_sec\": {aggregate:.0},");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"benchmark\": \"{}\", \"predictor\": \"{}\", \
+             \"wall_ms\": {:.2}, \"uops_per_sec\": {:.0}}}",
+            r.benchmark, r.predictor, r.wall_ms, r.uops_per_sec
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pulls `"aggregate_uops_per_sec": <number>` out of the baseline file.
+/// The file is machine-written by this binary, so a field scan is enough —
+/// no JSON parser in the tree (offline build, no serde_json).
+fn baseline_aggregate(json: &str) -> Option<f64> {
+    let key = "\"aggregate_uops_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let (rows, aggregate) = measure();
+    print!("{}", render(&rows, aggregate));
+
+    if check {
+        let baseline = match std::fs::read_to_string(BASELINE_PATH) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("no committed baseline at {BASELINE_PATH}: {e}");
+                eprintln!("run `throughput` without --check to create it");
+                std::process::exit(2);
+            }
+        };
+        let Some(base) = baseline_aggregate(&baseline) else {
+            eprintln!("malformed baseline: missing aggregate_uops_per_sec");
+            std::process::exit(2);
+        };
+        let ratio = aggregate / base;
+        println!("baseline: {} Muops/s, ratio {ratio:.3}", table::muops_per_sec(base));
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            eprintln!(
+                "FAIL: aggregate throughput regressed {:.1}% (> {:.0}% tolerance)",
+                (1.0 - ratio) * 100.0,
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("throughput check passed");
+    } else {
+        let json = to_json(&rows, aggregate);
+        std::fs::write(BASELINE_PATH, json).expect("write BENCH_sim_throughput.json");
+        println!("wrote {BASELINE_PATH}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_field_scan_parses_own_output() {
+        let json = "{\n  \"aggregate_uops_per_sec\": 3064212,\n}";
+        assert_eq!(baseline_aggregate(json), Some(3_064_212.0));
+        assert_eq!(baseline_aggregate("{}"), None);
+    }
+}

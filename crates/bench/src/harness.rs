@@ -1,12 +1,16 @@
 //! Experiment harness: builds predictors, runs (benchmark × predictor ×
 //! core) simulations in parallel, and aggregates results.
 
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
 use mascot::config::MascotConfig;
 use mascot::mdp_only::MascotMdpOnly;
 use mascot::predictor::Mascot;
 use mascot::MemDepPredictor;
 use mascot_predictors::{AnyPredictor, MdpTage, NoSq, PerfectMdp, PerfectMdpSmb, Phast, StoreSets};
-use mascot_sim::{simulate, CoreConfig, SimStats};
+use mascot_sim::{simulate, CoreConfig, SimStats, Trace};
 use mascot_workloads::{generate, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
@@ -77,22 +81,58 @@ impl PredictorKind {
         }
     }
 
-    /// Display label used in tables.
-    pub fn label(self) -> String {
+    /// Display label used in tables. Borrowed for every fixed kind; only
+    /// the parameterised `MascotOpt(n > 0)` labels allocate.
+    pub fn label(self) -> Cow<'static, str> {
         match self {
-            PredictorKind::Mascot => "mascot".into(),
-            PredictorKind::MascotMdp => "mascot-mdp".into(),
-            PredictorKind::MascotOpt(0) => "mascot-opt".into(),
-            PredictorKind::MascotOpt(n) => format!("mascot-opt-tag-{n}"),
-            PredictorKind::TageNoNd => "tage-no-nd".into(),
-            PredictorKind::Phast => "phast".into(),
-            PredictorKind::NoSq => "nosq".into(),
-            PredictorKind::MdpTage => "mdp-tage".into(),
-            PredictorKind::StoreSets => "store-sets".into(),
-            PredictorKind::PerfectMdp => "perfect-mdp".into(),
-            PredictorKind::PerfectMdpSmb => "perfect-mdp-smb".into(),
+            PredictorKind::Mascot => Cow::Borrowed("mascot"),
+            PredictorKind::MascotMdp => Cow::Borrowed("mascot-mdp"),
+            PredictorKind::MascotOpt(0) => Cow::Borrowed("mascot-opt"),
+            PredictorKind::MascotOpt(n) => Cow::Owned(format!("mascot-opt-tag-{n}")),
+            PredictorKind::TageNoNd => Cow::Borrowed("tage-no-nd"),
+            PredictorKind::Phast => Cow::Borrowed("phast"),
+            PredictorKind::NoSq => Cow::Borrowed("nosq"),
+            PredictorKind::MdpTage => Cow::Borrowed("mdp-tage"),
+            PredictorKind::StoreSets => Cow::Borrowed("store-sets"),
+            PredictorKind::PerfectMdp => Cow::Borrowed("perfect-mdp"),
+            PredictorKind::PerfectMdpSmb => Cow::Borrowed("perfect-mdp-smb"),
         }
     }
+}
+
+/// Returns the trace for `(profile, seed, uops)`, generating it at most
+/// once per process and sharing it read-only afterwards. A full suite run
+/// is `|profiles| × |kinds|` simulations but only `|profiles|` distinct
+/// traces; generation is a double-digit share of short runs, so every
+/// caller on the (benchmark × predictor) cross product goes through here.
+///
+/// Keyed by the full profile (not just its name), so ad-hoc profiles with
+/// colliding names stay distinct. The cache is a linear scan: suites hold
+/// at most a few dozen entries and each hit saves milliseconds.
+pub fn cached_trace(profile: &WorkloadProfile, seed: u64, trace_uops: usize) -> Arc<Trace> {
+    type Key = (WorkloadProfile, u64, usize);
+    type Slot = Arc<OnceLock<Arc<Trace>>>;
+    static CACHE: OnceLock<Mutex<Vec<(Key, Slot)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    // The registry lock is held only to find/insert the key's slot, never
+    // during generation, so workers building *different* traces proceed in
+    // parallel; workers racing for the *same* trace rendezvous on the
+    // slot's `OnceLock` and generate it exactly once.
+    let slot: Slot = {
+        let mut entries = cache.lock().expect("trace cache poisoned");
+        match entries
+            .iter()
+            .find(|((p, s, u), _)| p == profile && *s == seed && *u == trace_uops)
+        {
+            Some((_, slot)) => Arc::clone(slot),
+            None => {
+                let slot = Slot::default();
+                entries.push(((profile.clone(), seed, trace_uops), Arc::clone(&slot)));
+                slot
+            }
+        }
+    };
+    Arc::clone(slot.get_or_init(|| Arc::new(generate(profile, seed, trace_uops))))
 }
 
 /// The outcome of one simulation run.
@@ -108,6 +148,22 @@ pub struct RunResult {
     pub stats: SimStats,
     /// Predictor storage (KiB).
     pub storage_kib: f64,
+    /// Wall-clock time of the simulation itself (milliseconds), excluding
+    /// trace generation and predictor construction.
+    pub wall_ms: f64,
+    /// Simulated micro-ops committed per wall-clock second.
+    pub uops_per_sec: f64,
+}
+
+/// Computes the throughput fields from a finished run.
+fn throughput_of(stats: &SimStats, wall: std::time::Duration) -> (f64, f64) {
+    let secs = wall.as_secs_f64();
+    let uops_per_sec = if secs > 0.0 {
+        stats.committed_uops as f64 / secs
+    } else {
+        0.0
+    };
+    (secs * 1e3, uops_per_sec)
 }
 
 /// Trace length override from `MASCOT_TRACE_UOPS`, else the default.
@@ -129,19 +185,23 @@ pub fn run_with_predictor(
     seed: u64,
     tuning_period: Option<u64>,
 ) -> RunResult {
-    let trace = generate(profile, seed, trace_uops);
+    let trace = cached_trace(profile, seed, trace_uops);
+    let t0 = Instant::now();
     let sim = mascot_sim::Simulator::new(&trace, core, predictor);
     let sim = match tuning_period {
         Some(p) => sim.with_tuning_period(p),
         None => sim,
     };
     let stats = sim.run();
+    let (wall_ms, uops_per_sec) = throughput_of(&stats, t0.elapsed());
     RunResult {
         benchmark: profile.name.to_string(),
         predictor: predictor.name().to_string(),
         core: core.name.clone(),
         stats,
         storage_kib: predictor.storage_kib(),
+        wall_ms,
+        uops_per_sec,
     }
 }
 
@@ -153,15 +213,19 @@ pub fn run_one(
     trace_uops: usize,
     seed: u64,
 ) -> RunResult {
-    let trace = generate(profile, seed, trace_uops);
+    let trace = cached_trace(profile, seed, trace_uops);
     let mut predictor = kind.build();
+    let t0 = Instant::now();
     let stats = simulate(&trace, core, &mut predictor);
+    let (wall_ms, uops_per_sec) = throughput_of(&stats, t0.elapsed());
     RunResult {
         benchmark: profile.name.to_string(),
-        predictor: kind.label(),
+        predictor: kind.label().into_owned(),
         core: core.name.clone(),
         stats,
         storage_kib: predictor.storage_kib(),
+        wall_ms,
+        uops_per_sec,
     }
 }
 
@@ -185,9 +249,10 @@ pub fn run_suite(
         .unwrap_or(4)
         .min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
-        (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    // One slot per job, written exactly once by the worker that claims the
+    // job, then unwrapped in place — no intermediate collection.
+    let slots: Vec<Mutex<Option<RunResult>>> =
+        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -200,12 +265,13 @@ pub fn run_suite(
             });
         }
     });
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner().expect("result slot poisoned");
-    }
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("every job produced a result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job produced a result")
+        })
         .collect()
 }
 
@@ -240,10 +306,11 @@ pub fn geomean_normalized_ipc(
 
 /// The distinct benchmark names in a result set, in first-seen order.
 pub fn benchmarks(results: &[RunResult]) -> Vec<String> {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
     let mut out = Vec::new();
     for r in results {
-        if seen.insert(r.benchmark.clone()) {
+        // Dedupe on the borrowed name; clone only the first occurrence.
+        if seen.insert(r.benchmark.as_str()) {
             out.push(r.benchmark.clone());
         }
     }

@@ -15,7 +15,7 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    benchmarks, find, geomean_normalized_ipc, normalized_ipc, run_one, run_suite,
+    benchmarks, cached_trace, find, geomean_normalized_ipc, normalized_ipc, run_one, run_suite,
     run_with_predictor, trace_uops_from_env, PredictorKind, RunResult, DEFAULT_SEED,
     DEFAULT_TRACE_UOPS,
 };

@@ -91,6 +91,16 @@ pub fn frac_pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Formats a wall-clock duration in milliseconds, e.g. `12.9 ms`.
+pub fn ms(x: f64) -> String {
+    format!("{x:.1} ms")
+}
+
+/// Formats a simulation rate in millions of µops per second, e.g. `3.11`.
+pub fn muops_per_sec(uops_per_sec: f64) -> String {
+    format!("{:.2}", uops_per_sec / 1e6)
+}
+
 /// Formats a count with thousands separators.
 pub fn count(x: u64) -> String {
     let s = x.to_string();
@@ -140,5 +150,7 @@ mod tests {
         assert_eq!(frac_pct(0.382), "38.2%");
         assert_eq!(count(1_234_567), "1,234,567");
         assert_eq!(count(12), "12");
+        assert_eq!(ms(12.94), "12.9 ms");
+        assert_eq!(muops_per_sec(3_110_000.0), "3.11");
     }
 }

@@ -67,16 +67,36 @@ impl CacheLevel {
 
     /// Probes for `line`; updates LRU on hit. Does not count stats.
     pub fn probe(&mut self, line: u64) -> bool {
+        self.probe_slot(line).is_some()
+    }
+
+    /// Probes for `line`; on a hit, updates LRU and returns the slot index
+    /// so callers with locality (e.g. sequential instruction fetch) can
+    /// revalidate the same slot without rescanning the set.
+    fn probe_slot(&mut self, line: u64) -> Option<usize> {
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(line);
         for i in range {
             if self.tags[i] == line {
                 self.stamps[i] = stamp;
-                return true;
+                return Some(i);
             }
         }
-        false
+        None
+    }
+
+    /// Re-touches a known slot if it still holds `line`. Identical
+    /// observable effect to a hitting [`CacheLevel::probe`] (one stamp tick,
+    /// slot refreshed), but O(1).
+    fn retouch(&mut self, slot: usize, line: u64) -> bool {
+        if self.tags[slot] == line {
+            self.stamp += 1;
+            self.stamps[slot] = self.stamp;
+            true
+        } else {
+            false
+        }
     }
 
     /// Installs `line`, evicting the LRU way of its set if needed.
@@ -135,6 +155,13 @@ pub struct Hierarchy {
     memory_latency: u32,
     line_bytes: u64,
     mshrs: Vec<Mshr>,
+    /// Earliest `ready` among outstanding MSHRs (`u64::MAX` when empty);
+    /// lets [`Hierarchy::retire_mshrs`] skip the scan while nothing can
+    /// possibly retire.
+    mshr_min_ready: u64,
+    /// Last instruction line resolved by [`Hierarchy::access_inst`] and the
+    /// L1I slot it hit, for the sequential-fetch fast path.
+    last_inst: (u64, usize),
     mshr_capacity: usize,
     prefetch_degree: u32,
     stride_table: Vec<StrideEntry>,
@@ -153,6 +180,8 @@ impl Hierarchy {
             memory_latency: cfg.memory_latency,
             line_bytes: u64::from(cfg.l1d.line_bytes),
             mshrs: Vec::new(),
+            mshr_min_ready: u64::MAX,
+            last_inst: (INVALID, 0),
             mshr_capacity: cfg.l1d.mshrs as usize,
             prefetch_degree: cfg.prefetch_degree,
             stride_table: vec![StrideEntry::default(); 256],
@@ -166,7 +195,11 @@ impl Hierarchy {
     }
 
     fn retire_mshrs(&mut self, now: u64) {
+        if now < self.mshr_min_ready {
+            return;
+        }
         self.mshrs.retain(|m| m.ready > now);
+        self.mshr_min_ready = self.mshrs.iter().map(|m| m.ready).min().unwrap_or(u64::MAX);
     }
 
     /// The latency of a data access that misses the L1, walking L2 → L3 →
@@ -219,6 +252,7 @@ impl Hierarchy {
             self.l1d.fill(line);
             if !is_store {
                 self.mshrs.push(Mshr { line, ready });
+                self.mshr_min_ready = self.mshr_min_ready.min(ready);
             }
             ready
         };
@@ -233,7 +267,15 @@ impl Hierarchy {
     /// of the pipeline depth, only *misses* stall the frontend).
     pub fn access_inst(&mut self, pc: u64, now: u64) -> u64 {
         let line = self.line_of(pc);
-        if self.l1i.probe(line) {
+        // Sequential fetch fast path: consecutive micro-ops usually fetch
+        // from the line just resolved, so revalidate that slot instead of
+        // rescanning the set (identical stamp/stat effects to a hit probe).
+        if line == self.last_inst.0 && self.l1i.retouch(self.last_inst.1, line) {
+            self.l1i.stats.hits += 1;
+            return now;
+        }
+        if let Some(slot) = self.l1i.probe_slot(line) {
+            self.last_inst = (line, slot);
             self.l1i.stats.hits += 1;
             now
         } else {
@@ -284,10 +326,9 @@ impl Hierarchy {
         self.l1d.fill(line);
         self.l1d.stats.prefetch_fills += 1;
         self.prefetches_issued += 1;
-        self.mshrs.push(Mshr {
-            line,
-            ready: now + u64::from(lat),
-        });
+        let ready = now + u64::from(lat);
+        self.mshrs.push(Mshr { line, ready });
+        self.mshr_min_ready = self.mshr_min_ready.min(ready);
     }
 
     /// Number of occupied L1D MSHRs (after retiring completed ones).

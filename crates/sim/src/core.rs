@@ -31,7 +31,7 @@
 //! predictor), exactly as checkpointed history restoration would behave.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use mascot::history::{BranchEvent, BranchKind};
 use mascot::prediction::{
@@ -42,6 +42,7 @@ use mascot::prediction::{
 use crate::branch::TagePredictor;
 use crate::cache::Hierarchy;
 use crate::config::CoreConfig;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::stats::SimStats;
 use crate::uop::{Trace, Uop, UopKind};
 
@@ -99,6 +100,24 @@ enum Payload<M> {
     Store { store_seq: u64 },
 }
 
+/// Which issue-port class a micro-op competes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortClass {
+    Store,
+    Load,
+    Alu,
+}
+
+impl<M> Payload<M> {
+    fn port_class(&self) -> PortClass {
+        match self {
+            Payload::Store { .. } => PortClass::Store,
+            Payload::Load(_) => PortClass::Load,
+            Payload::Alu | Payload::Branch => PortClass::Alu,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct RobEntry<M> {
     id: u64,
@@ -137,6 +156,155 @@ enum SquashReason {
     BypassFail,
 }
 
+/// Age-ordered ready bitmap: one bit per in-flight micro-op.
+///
+/// Ids are mapped to bits by `id & mask` with a power-of-two capacity of at
+/// least `rob_entries`, so the ids in flight (a contiguous window no wider
+/// than the ROB) never collide. Insert/remove are single bit operations and
+/// the issue stage recovers the oldest ready ids with a short word scan —
+/// no ordered-set node allocation or pointer chasing on the per-cycle path.
+#[derive(Debug)]
+struct ReadyMask {
+    words: Vec<u64>,
+    mask: u64,
+    /// Number of set bits: lets the issue stage skip the word scan outright
+    /// on the (common, in memory-bound phases) nothing-ready cycles.
+    count: u32,
+}
+
+impl ReadyMask {
+    fn new(rob_entries: usize) -> Self {
+        let cap = rob_entries.next_power_of_two().max(64);
+        Self {
+            words: vec![0; cap / 64],
+            mask: cap as u64 - 1,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: u64) {
+        let b = (id & self.mask) as usize;
+        let bit = 1u64 << (b % 64);
+        debug_assert_eq!(self.words[b / 64] & bit, 0, "ready ids are unique");
+        self.words[b / 64] |= bit;
+        self.count += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, id: u64) {
+        let b = (id & self.mask) as usize;
+        let bit = 1u64 << (b % 64);
+        debug_assert_ne!(self.words[b / 64] & bit, 0, "removing a present id");
+        self.words[b / 64] &= !bit;
+        self.count -= 1;
+    }
+
+    /// Appends up to `k` ready ids to `out`, oldest first, where `front` is
+    /// the oldest id that can possibly be in the mask (the ROB head).
+    fn pick_oldest(&self, front: u64, k: usize, out: &mut Vec<u64>) {
+        if k == 0 || self.count == 0 {
+            return;
+        }
+        let k = k.min(self.count as usize);
+        let nw = self.words.len();
+        let cap = nw * 64;
+        let start = (front & self.mask) as usize;
+        let (sw, sb) = (start / 64, start % 64);
+        let mut taken = 0;
+        // One lap around the circular window: the start word's upper bits,
+        // the following words, then the start word's lower (wrapped) bits.
+        for step in 0..=nw {
+            let wi = (sw + step) % nw;
+            let mut w = self.words[wi];
+            if step == 0 {
+                w &= !0u64 << sb;
+            } else if step == nw {
+                if sb == 0 {
+                    break;
+                }
+                w &= !(!0u64 << sb);
+            }
+            while w != 0 {
+                let b = wi * 64 + w.trailing_zeros() as usize;
+                out.push(front + ((b + cap - start) % cap) as u64);
+                taken += 1;
+                if taken == k {
+                    return;
+                }
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+/// Calendar-style event queue (timing wheel).
+///
+/// Every schedule distance in the engine is bounded: ALU latencies fit in a
+/// byte, and memory completions from [`Hierarchy::access_data`] land within
+/// `memory_latency` cycles (in-flight fills were started at an earlier
+/// cycle, so a merged completion is still within the bound of `now`). The
+/// wheel is sized from the configuration to cover that bound, making
+/// scheduling O(1) and per-cycle retrieval O(due events) instead of the
+/// former binary heap's O(log n) per operation. Anything beyond the bound
+/// (defensive; unreachable with a validated configuration) spills into a
+/// small heap consulted once per cycle.
+#[derive(Debug)]
+struct EventWheel {
+    /// `slots[c & mask]` holds the `(id, kind)` events due at cycle `c`.
+    /// The strict `delta <= mask` push bound guarantees a slot never mixes
+    /// cycles.
+    slots: Vec<Vec<(u64, u8)>>,
+    mask: u64,
+    overflow: BinaryHeap<Reverse<(u64, u64, u8)>>,
+}
+
+impl EventWheel {
+    fn new(max_delta: u64) -> Self {
+        let len = (max_delta + 2).next_power_of_two().max(64) as usize;
+        Self {
+            slots: vec![Vec::new(); len],
+            mask: len as u64 - 1,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, now: u64, cycle: u64, id: u64, kind: u8) {
+        debug_assert!(cycle > now, "events fire strictly in the future");
+        if cycle - now <= self.mask {
+            self.slots[(cycle & self.mask) as usize].push((id, kind));
+        } else {
+            self.overflow.push(Reverse((cycle, id, kind)));
+        }
+    }
+
+    /// Takes the events due at `now`, sorted by `(id, kind)` — the delivery
+    /// order of the binary heap this wheel replaced, which the golden-stats
+    /// snapshot pins. Return the buffer via [`EventWheel::restore`].
+    fn take_due(&mut self, now: u64) -> Vec<(u64, u8)> {
+        let mut due = std::mem::take(&mut self.slots[(now & self.mask) as usize]);
+        while let Some(&Reverse((cycle, id, kind))) = self.overflow.peek() {
+            if cycle > now {
+                break;
+            }
+            self.overflow.pop();
+            due.push((id, kind));
+        }
+        if due.len() > 1 {
+            due.sort_unstable();
+        }
+        due
+    }
+
+    /// Hands the drained `take_due` buffer back to its slot so the
+    /// allocation is reused on the next lap around the wheel.
+    fn restore(&mut self, now: u64, mut buf: Vec<(u64, u8)>) {
+        buf.clear();
+        self.slots[(now & self.mask) as usize] = buf;
+    }
+}
+
 /// The simulation engine. Construct with [`Simulator::new`] and drive with
 /// [`Simulator::run`], or use the [`simulate`] convenience function.
 pub struct Simulator<'a, P: MemDepPredictor> {
@@ -159,18 +327,31 @@ pub struct Simulator<'a, P: MemDepPredictor> {
     store_seq_next: u64,
 
     reg_writer: [Option<u64>; 64],
-    ready_set: BTreeSet<u64>,
-    events: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// Ready micro-ops, partitioned by port class so the issue stage only
+    /// ever looks at the oldest port-width candidates of each class instead
+    /// of scanning the whole ready window.
+    ready_stores: ReadyMask,
+    ready_loads: ReadyMask,
+    ready_alus: ReadyMask,
+    events: EventWheel,
+    /// Issue-stage scratch, reused every cycle: this cycle's issue
+    /// candidates (at most one port-width per class).
+    scratch_issue: Vec<u64>,
+    /// Recycled `Vec` allocations for dependent/waiter lists, and recycled
+    /// `LoadInfo` boxes: the per-uop bookkeeping otherwise costs a handful
+    /// of allocator round-trips per dispatched micro-op.
+    list_pool: Vec<Vec<u64>>,
+    load_pool: Vec<Box<LoadInfo<P::Meta>>>,
     /// store_seq → executed-stale loads awaiting that store's issue.
-    violations: HashMap<u64, Vec<u64>>,
+    violations: FxHashMap<u64, Vec<u64>>,
     pending_squashes: Vec<(u64, SquashReason)>,
     /// Trace indices that must replay conservatively after a squash.
-    conservative: HashSet<usize>,
+    conservative: FxHashSet<usize>,
     /// Dependence observed by a squashed load instance, merged into the
     /// committed instance's training record when the replay no longer sees
     /// the (since-drained) store — the violation information a hardware LSQ
     /// snoop reports.
-    replay_outcome: HashMap<usize, ObservedDependence>,
+    replay_outcome: FxHashMap<usize, ObservedDependence>,
 
     branch_log: Vec<BranchEvent>,
     committed: u64,
@@ -218,12 +399,25 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             sb: VecDeque::with_capacity(cfg.sb_entries as usize),
             store_seq_next: 0,
             reg_writer: [None; 64],
-            ready_set: BTreeSet::new(),
-            events: BinaryHeap::new(),
-            violations: HashMap::new(),
+            ready_stores: ReadyMask::new(cfg.rob_entries as usize),
+            ready_loads: ReadyMask::new(cfg.rob_entries as usize),
+            ready_alus: ReadyMask::new(cfg.rob_entries as usize),
+            events: EventWheel::new(
+                // ALU latencies are a byte; memory completions are bounded
+                // by the slowest level of the hierarchy.
+                255u64
+                    .max(u64::from(cfg.memory_latency))
+                    .max(u64::from(cfg.l1d.hit_latency))
+                    .max(u64::from(cfg.l2.hit_latency))
+                    .max(u64::from(cfg.l3.hit_latency)),
+            ),
+            scratch_issue: Vec::new(),
+            list_pool: Vec::new(),
+            load_pool: Vec::new(),
+            violations: FxHashMap::default(),
             pending_squashes: Vec::new(),
-            conservative: HashSet::new(),
-            replay_outcome: HashMap::new(),
+            conservative: FxHashSet::default(),
+            replay_outcome: FxHashMap::default(),
             branch_log: Vec::new(),
             committed: 0,
             last_commit_cycle: 0,
@@ -292,8 +486,18 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
     // ---------------------------------------------------------- lookup
 
     fn pos_of(&self, id: u64) -> Option<usize> {
-        // ROB ids are strictly increasing in dispatch (= age) order.
-        self.rob.binary_search_by_key(&id, |e| e.id).ok()
+        // ROB ids are contiguous `front.id .. front.id + len`: dispatch
+        // allocates them in order, commit pops the front, and a squash
+        // truncates the tail *and rewinds the allocator* (see
+        // `squash_from`), so the position is a subtraction, not a search.
+        let front = self.rob.front()?.id;
+        let idx = id.checked_sub(front)? as usize;
+        if idx < self.rob.len() {
+            debug_assert_eq!(self.rob[idx].id, id);
+            Some(idx)
+        } else {
+            None
+        }
     }
 
     fn entry(&self, id: u64) -> Option<&RobEntry<P::Meta>> {
@@ -313,29 +517,54 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         (idx < self.sb.len()).then_some(idx)
     }
 
+    // ---------------------------------------------------------- recycling
+
+    /// Returns a retired/flushed entry's heap allocations to the pools.
+    fn recycle_entry(&mut self, e: RobEntry<P::Meta>) {
+        self.recycle_list(e.dependents);
+        if let Payload::Load(mut info) = e.payload {
+            info.meta = None;
+            self.load_pool.push(info);
+        }
+    }
+
+    fn recycle_sb(&mut self, s: SbEntry) {
+        self.recycle_list(s.waiting_loads);
+        self.recycle_list(s.bypass_waiters);
+    }
+
+    #[inline]
+    fn recycle_list(&mut self, mut v: Vec<u64>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.list_pool.push(v);
+        }
+    }
+
+    #[inline]
+    fn fresh_list(&mut self) -> Vec<u64> {
+        self.list_pool.pop().unwrap_or_default()
+    }
+
     // ---------------------------------------------------------- events
 
     fn schedule(&mut self, cycle: u64, id: u64, kind: EventKind) {
-        debug_assert!(cycle >= self.now);
-        self.events.push(Reverse((cycle, id, kind as u8)));
+        self.events.push(self.now, cycle, id, kind as u8);
     }
 
     fn process_events(&mut self) {
-        while let Some(&Reverse((cycle, id, kind))) = self.events.peek() {
-            if cycle > self.now {
-                break;
-            }
-            self.events.pop();
-            let kind = if kind == 0 {
-                EventKind::ValueReady
+        // Handlers never schedule new events (all scheduling happens in the
+        // issue and dispatch stages, strictly in the future), so the due
+        // list is complete when taken.
+        let due = self.events.take_due(self.now);
+        for &(id, kind) in &due {
+            if kind == EventKind::ValueReady as u8 {
+                self.on_value_ready(id);
             } else {
-                EventKind::Complete
-            };
-            match kind {
-                EventKind::ValueReady => self.on_value_ready(id),
-                EventKind::Complete => self.on_complete(id),
+                self.on_complete(id);
             }
         }
+        self.events.restore(self.now, due);
     }
 
     fn on_value_ready(&mut self, id: u64) {
@@ -344,8 +573,17 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             return; // stale event
         }
         let dependents = std::mem::take(&mut self.rob[pos].dependents);
-        for dep in dependents {
+        for &dep in &dependents {
             self.satisfy_dependency(dep);
+        }
+        self.recycle_list(dependents);
+    }
+
+    fn ready_class(&mut self, class: PortClass) -> &mut ReadyMask {
+        match class {
+            PortClass::Store => &mut self.ready_stores,
+            PortClass::Load => &mut self.ready_loads,
+            PortClass::Alu => &mut self.ready_alus,
         }
     }
 
@@ -355,7 +593,8 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         e.deps_remaining -= 1;
         if e.deps_remaining == 0 && e.state == State::Waiting {
             e.state = State::Ready;
-            self.ready_set.insert(id);
+            let class = e.payload.port_class();
+            self.ready_class(class).insert(id);
         }
     }
 
@@ -391,59 +630,58 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
     // ---------------------------------------------------------- issue
 
     fn issue(&mut self) {
-        let snapshot: Vec<u64> = self.ready_set.iter().copied().collect();
-        let mut store_budget = self.cfg.store_ports;
-        let mut load_budget = self.cfg.load_ports;
-        let mut alu_budget = self.cfg.alu_ports;
-        let mut mshr_blocked = false;
+        // Pick this cycle's candidates: the oldest port-width entries of
+        // each class (the sets iterate in id = age order). Copying them to
+        // scratch first keeps the sets free for `begin_issue` to mutate.
+        // Store issue can wake *waiting* loads, but those enter the ready
+        // sets only now and correctly sit out this cycle.
+        // Nothing in flight means nothing ready.
+        let front = match self.rob.front() {
+            Some(e) => e.id,
+            None => return,
+        };
+        let mut picks = std::mem::take(&mut self.scratch_issue);
+        picks.clear();
+        // All candidates are frozen before anything issues: a store issuing
+        // this cycle may wake micro-ops waiting on it, and those become
+        // eligible next cycle, not this one.
+        self.ready_stores
+            .pick_oldest(front, self.cfg.store_ports as usize, &mut picks);
+        let loads_at = picks.len();
+        self.ready_loads
+            .pick_oldest(front, self.cfg.load_ports as usize, &mut picks);
+        let alus_at = picks.len();
+        self.ready_alus
+            .pick_oldest(front, self.cfg.alu_ports as usize, &mut picks);
 
         // Stores issue first within a cycle so same-cycle loads can forward.
-        for &id in &snapshot {
-            if store_budget == 0 {
-                break;
-            }
-            if matches!(
-                self.entry(id).map(|e| &e.payload),
-                Some(Payload::Store { .. })
-            ) {
-                self.issue_store(id);
-                store_budget -= 1;
+        for i in 0..loads_at {
+            self.issue_store(picks[i]);
+        }
+        // A failed load issue (MSHR file full) stops the load stream for
+        // the cycle and consumes no budget, so at most `load_ports`
+        // candidates are ever examined.
+        for i in loads_at..alus_at {
+            if !self.issue_load(picks[i]) {
+                break; // structural stall on the MSHR file: retry next cycle
             }
         }
-        for &id in &snapshot {
-            let Some(e) = self.entry(id) else { continue };
-            if e.state != State::Ready {
-                continue;
-            }
-            match &e.payload {
-                Payload::Store { .. } => {}
-                Payload::Load(_) => {
-                    if load_budget > 0 && !mshr_blocked {
-                        if self.issue_load(id) {
-                            load_budget -= 1;
-                        } else {
-                            mshr_blocked = true; // structural stall: retry next cycle
-                        }
-                    }
-                }
-                Payload::Alu | Payload::Branch => {
-                    if alu_budget > 0 {
-                        self.issue_alu(id);
-                        alu_budget -= 1;
-                    }
-                }
-            }
+        for i in alus_at..picks.len() {
+            self.issue_alu(picks[i]);
         }
+
+        self.scratch_issue = picks;
     }
 
     fn begin_issue(&mut self, id: u64) {
-        self.ready_set.remove(&id);
         self.iq_count -= 1;
         let now = self.now;
         let e = self.entry_mut(id).expect("issuing entry exists");
         debug_assert_eq!(e.state, State::Ready);
         e.state = State::Issued;
         e.issue_cycle = now;
+        let class = e.payload.port_class();
+        self.ready_class(class).remove(id);
     }
 
     fn finish_issue(&mut self, id: u64, complete: u64, value_ready: Option<u64>) {
@@ -484,11 +722,12 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         self.sb[pos].issued = true;
         let waiting = std::mem::take(&mut self.sb[pos].waiting_loads);
         let bypassers = std::mem::take(&mut self.sb[pos].bypass_waiters);
-        for load in waiting {
+        for &load in &waiting {
             self.satisfy_dependency(load);
         }
+        self.recycle_list(waiting);
         let value_at = self.now + 1;
-        for load in bypassers {
+        for &load in &bypassers {
             if let Some(e) = self.entry_mut(load) {
                 e.value_ready_at = Some(value_at);
                 let deliver_complete = match &mut e.payload {
@@ -506,11 +745,13 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                 }
             }
         }
+        self.recycle_list(bypassers);
         // Memory-order violations: stale loads younger than this store.
         if let Some(loads) = self.violations.remove(&store_seq) {
             if let Some(&victim) = loads.iter().min() {
                 self.pending_squashes.push((victim, SquashReason::MemoryOrder));
             }
+            self.recycle_list(loads);
         }
     }
 
@@ -657,10 +898,11 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         // Flush the victim and everything younger.
         while self.rob.len() > vpos {
             let e = self.rob.pop_back().expect("len > vpos");
-            match e.payload {
+            match &e.payload {
                 Payload::Store { store_seq } => {
                     let back = self.sb.pop_back().expect("store has an SB entry");
-                    debug_assert_eq!(back.store_seq, store_seq);
+                    debug_assert_eq!(back.store_seq, *store_seq);
+                    self.recycle_sb(back);
                 }
                 Payload::Load(_) => self.lq_count -= 1,
                 _ => {}
@@ -668,8 +910,22 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             if matches!(e.state, State::Waiting | State::Ready) {
                 self.iq_count -= 1;
             }
-            self.ready_set.remove(&e.id);
+            if e.state == State::Ready {
+                let class = e.payload.port_class();
+                self.ready_class(class).remove(e.id);
+            }
+            self.recycle_entry(e);
         }
+
+        // Rewind the id allocator so ROB ids stay contiguous (the O(1)
+        // `pos_of` depends on it). Replayed micro-ops reuse the flushed
+        // ids; in-flight events naming a flushed id are harmless against a
+        // reused one: an event only acts when the entry's own
+        // `value_ready_at`/`complete_at` matches the current cycle, and in
+        // that case a genuine duplicate of the event exists anyway — the
+        // handlers are idempotent (dependents are drained once, completion
+        // flips Issued → Done once).
+        self.next_id = victim;
 
         // Purge references to flushed micro-ops.
         for s in &mut self.sb {
@@ -740,11 +996,10 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                         self.sb[pos].committed_at = Some(now);
                     }
                 }
-                Payload::Load(info) => {
+                Payload::Load(mut info) => {
                     self.stats.committed_loads += 1;
                     self.lq_count -= 1;
                     self.conservative.remove(&e.trace_idx);
-                    let mut info = *info;
                     // Merge violation information from a squashed instance
                     // of this load if the replay saw the store drained.
                     if let Some(dep) = self.replay_outcome.remove(&e.trace_idx) {
@@ -752,13 +1007,15 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                             info.outcome = LoadOutcome::dependent(dep);
                         }
                     }
-                    self.commit_load(e.trace_idx, info);
+                    self.commit_load(e.trace_idx, &mut info);
+                    self.load_pool.push(info);
                 }
             }
+            self.recycle_list(e.dependents);
         }
     }
 
-    fn commit_load(&mut self, trace_idx: usize, info: LoadInfo<P::Meta>) {
+    fn commit_load(&mut self, trace_idx: usize, info: &mut LoadInfo<P::Meta>) {
         let pc = self.trace.uops[trace_idx].pc;
         // Prediction census (Fig. 10 left).
         match info.prediction {
@@ -810,7 +1067,7 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                 }
             }
         }
-        if let Some(meta) = info.meta {
+        if let Some(meta) = info.meta.take() {
             self.pred.train(pc, meta, info.prediction, &info.outcome);
         }
     }
@@ -831,6 +1088,7 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             }
             let s = self.sb.pop_front().expect("checked non-empty");
             let _ = self.mem.access_data(s.pc, s.addr, self.now, true);
+            self.recycle_sb(s);
             budget -= 1;
         }
     }
@@ -905,10 +1163,11 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         self.next_id += 1;
         let trace_idx = self.fetch_idx;
 
-        // Register dataflow.
+        // Register dataflow (a micro-op has at most two sources).
         let mut deps = 0u32;
         let mut has_load_producer = false;
-        let mut dependents_to_register: Vec<u64> = Vec::new();
+        let mut writers = [0u64; 2];
+        let mut n_writers = 0usize;
         for src in uop.srcs.iter().flatten() {
             if let Some(writer) = self.reg_writer[usize::from(*src)] {
                 if let Some(w) = self.entry(writer) {
@@ -918,15 +1177,18 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                     }
                     if pending {
                         deps += 1;
-                        dependents_to_register.push(writer);
+                        writers[n_writers] = writer;
+                        n_writers += 1;
                     }
                 }
             }
         }
-        for writer in dependents_to_register {
-            if let Some(w) = self.entry_mut(writer) {
-                w.dependents.push(id);
+        for &writer in &writers[..n_writers] {
+            let Some(pos) = self.pos_of(writer) else { continue };
+            if self.rob[pos].dependents.capacity() == 0 {
+                self.rob[pos].dependents = self.list_pool.pop().unwrap_or_default();
             }
+            self.rob[pos].dependents.push(id);
         }
 
         let store_count = self.store_seq_next;
@@ -979,14 +1241,16 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                         }
                     }
                 }
+                let waiting_loads = self.fresh_list();
+                let bypass_waiters = self.fresh_list();
                 self.sb.push_back(SbEntry {
                     store_seq,
                     pc: uop.pc,
                     addr,
                     issued: false,
                     committed_at: None,
-                    waiting_loads: Vec::new(),
-                    bypass_waiters: Vec::new(),
+                    waiting_loads,
+                    bypass_waiters,
                 });
                 self.pred.on_store_dispatch(uop.pc, store_seq);
                 payload = Payload::Store { store_seq };
@@ -1039,15 +1303,14 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                 }
                 if conservative {
                     // Wait for every currently-unissued prior store.
-                    let unissued: Vec<usize> = (0..self.sb.len())
-                        .filter(|&i| !self.sb[i].issued)
-                        .collect();
-                    for i in unissued {
-                        self.sb[i].waiting_loads.push(id);
-                        deps += 1;
+                    for i in 0..self.sb.len() {
+                        if !self.sb[i].issued {
+                            self.sb[i].waiting_loads.push(id);
+                            deps += 1;
+                        }
                     }
                 }
-                payload = Payload::Load(Box::new(LoadInfo {
+                let info = LoadInfo {
                     prediction,
                     meta: Some(meta),
                     effective_bypass,
@@ -1055,7 +1318,14 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                     awaiting_bypass_value: false,
                     outcome: LoadOutcome::independent(),
                     served: Served::Cache,
-                }));
+                };
+                payload = Payload::Load(match self.load_pool.pop() {
+                    Some(mut b) => {
+                        *b = info;
+                        b
+                    }
+                    None => Box::new(info),
+                });
             }
         }
 
@@ -1069,7 +1339,8 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         };
         let value_ready_at = early_value_at;
         if state == State::Ready {
-            self.ready_set.insert(id);
+            let class = payload.port_class();
+            self.ready_class(class).insert(id);
         }
         self.iq_count += 1;
         self.rob.push_back(RobEntry {

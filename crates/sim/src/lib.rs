@@ -30,6 +30,7 @@ pub mod cache;
 pub mod codec;
 pub mod config;
 pub mod core;
+pub mod fxhash;
 pub mod stats;
 pub mod uop;
 
@@ -37,6 +38,7 @@ pub use branch::{BranchPredictorConfig, BranchStats, TagePredictor};
 pub use codec::CodecError;
 pub use cache::{CacheLevel, CacheStats, Hierarchy};
 pub use config::{CacheConfig, CoreConfig};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use core::{simulate, Simulator};
 pub use stats::SimStats;
 pub use uop::{ArchReg, Trace, TraceDep, Uop, UopKind};

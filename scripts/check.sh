@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the simulator throughput trajectory.
+#
+#   scripts/check.sh            # offline build + tests + throughput check
+#   CARGO_FLAGS= scripts/check.sh   # allow network (e.g. first-time fetch)
+#
+# Fails if the build or any test fails, or if aggregate simulator
+# throughput regresses more than 10% against the committed
+# BENCH_sim_throughput.json baseline (regenerate the baseline with
+# `cargo run --release -p mascot-bench --bin throughput` on intentional
+# perf changes, and commit the new file alongside them).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS---offline}
+
+echo "== tier-1: release build =="
+cargo build --release ${CARGO_FLAGS}
+
+echo "== tier-1: tests =="
+cargo test -q ${CARGO_FLAGS}
+
+echo "== throughput check =="
+cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check

@@ -1,0 +1,310 @@
+//! Golden-stats snapshot: the cycle-level simulator's behaviour is pinned
+//! bit-exactly. Hot-path rewrites (event wheel, O(1) ROB indexing, scratch
+//! buffers, hashers) are mechanical-performance changes and must not alter
+//! a single counter; any intentional model change must update these values
+//! in the same commit, with an explanation.
+//!
+//! Regenerate with:
+//! `cargo test --release --test golden_stats -- --ignored print_golden --nocapture`
+
+use mascot_bench::{run_one, PredictorKind};
+use mascot_sim::{CoreConfig, SimStats};
+use mascot_workloads::spec;
+
+const GOLDEN_UOPS: usize = 20_000;
+const GOLDEN_SEED: u64 = 2025;
+
+fn matrix() -> Vec<(&'static str, PredictorKind)> {
+    let profiles = ["perlbench2", "exchange2"];
+    let kinds = [
+        PredictorKind::Mascot,
+        PredictorKind::NoSq,
+        PredictorKind::StoreSets,
+    ];
+    profiles
+        .iter()
+        .flat_map(|&p| kinds.iter().map(move |&k| (p, k)))
+        .collect()
+}
+
+fn run(profile: &str, kind: PredictorKind) -> SimStats {
+    let profile = spec::profile(profile).expect("known profile");
+    run_one(
+        &profile,
+        kind,
+        &CoreConfig::golden_cove(),
+        GOLDEN_UOPS,
+        GOLDEN_SEED,
+    )
+    .stats
+}
+
+/// Prints the current stats as Rust literals for updating `golden()`.
+#[test]
+#[ignore = "generator for the golden values below"]
+fn print_golden() {
+    for (profile, kind) in matrix() {
+        let stats = run(profile, kind);
+        println!("// ({profile:?}, PredictorKind::{kind:?})");
+        println!("{stats:#?},");
+    }
+}
+
+#[test]
+fn stats_match_golden_snapshot() {
+    let golden = golden();
+    assert_eq!(golden.len(), matrix().len());
+    for ((profile, kind), expected) in matrix().into_iter().zip(golden) {
+        let got = run(profile, kind);
+        assert_eq!(
+            got, expected,
+            "SimStats drifted for ({profile}, {kind:?}) — if the simulator \
+             model intentionally changed, regenerate with print_golden"
+        );
+    }
+}
+
+#[rustfmt::skip]
+fn golden() -> Vec<SimStats> {
+    vec![
+        SimStats {
+            cycles: 26270,
+            committed_uops: 20104,
+            committed_loads: 3528,
+            committed_stores: 2555,
+            committed_branches: 3381,
+            pred_no_dep: 1601,
+            pred_mdp: 463,
+            pred_smb: 1464,
+            missed_dependencies: 42,
+            false_dependencies: 20,
+            wrong_store: 32,
+            smb_errors: 0,
+            correct_mdp: 417,
+            correct_smb: 1458,
+            correct_no_dep: 1559,
+            mem_order_squashes: 6,
+            smb_squashes: 6,
+            branch_mispredicts: 741,
+            indirect_mispredicts: 0,
+            loads_bypassed: 1458,
+            loads_forwarded: 491,
+            loads_from_cache: 1579,
+            class_direct_bypass: 1541,
+            class_no_offset: 144,
+            class_offset: 0,
+            class_mdp_only: 264,
+            dependent_wait_cycles: 22612,
+            dependent_wait_count: 1994,
+            stall_frontend: 22352,
+            stall_rob: 0,
+            stall_iq: 0,
+            stall_lq: 0,
+            stall_sb: 0,
+            l1i_misses: 96,
+            l1d_misses: 1805,
+            l2_misses: 1858,
+            l3_misses: 1858,
+        },
+        // ("perlbench2", PredictorKind::NoSq)
+        SimStats {
+            cycles: 26589,
+            committed_uops: 20104,
+            committed_loads: 3528,
+            committed_stores: 2555,
+            committed_branches: 3381,
+            pred_no_dep: 1537,
+            pred_mdp: 1991,
+            pred_smb: 0,
+            missed_dependencies: 42,
+            false_dependencies: 84,
+            wrong_store: 271,
+            smb_errors: 0,
+            correct_mdp: 1636,
+            correct_smb: 0,
+            correct_no_dep: 1495,
+            mem_order_squashes: 6,
+            smb_squashes: 0,
+            branch_mispredicts: 726,
+            indirect_mispredicts: 0,
+            loads_bypassed: 0,
+            loads_forwarded: 1949,
+            loads_from_cache: 1579,
+            class_direct_bypass: 1541,
+            class_no_offset: 144,
+            class_offset: 0,
+            class_mdp_only: 264,
+            dependent_wait_cycles: 35913,
+            dependent_wait_count: 1998,
+            stall_frontend: 22753,
+            stall_rob: 0,
+            stall_iq: 0,
+            stall_lq: 0,
+            stall_sb: 0,
+            l1i_misses: 96,
+            l1d_misses: 1804,
+            l2_misses: 1858,
+            l3_misses: 1858,
+        },
+        // ("perlbench2", PredictorKind::StoreSets)
+        SimStats {
+            cycles: 26567,
+            committed_uops: 20104,
+            committed_loads: 3528,
+            committed_stores: 2555,
+            committed_branches: 3381,
+            pred_no_dep: 1538,
+            pred_mdp: 1990,
+            pred_smb: 0,
+            missed_dependencies: 42,
+            false_dependencies: 83,
+            wrong_store: 0,
+            smb_errors: 0,
+            correct_mdp: 1907,
+            correct_smb: 0,
+            correct_no_dep: 1496,
+            mem_order_squashes: 6,
+            smb_squashes: 0,
+            branch_mispredicts: 726,
+            indirect_mispredicts: 0,
+            loads_bypassed: 0,
+            loads_forwarded: 1949,
+            loads_from_cache: 1579,
+            class_direct_bypass: 1541,
+            class_no_offset: 144,
+            class_offset: 0,
+            class_mdp_only: 264,
+            dependent_wait_cycles: 35828,
+            dependent_wait_count: 1998,
+            stall_frontend: 22731,
+            stall_rob: 0,
+            stall_iq: 0,
+            stall_lq: 0,
+            stall_sb: 0,
+            l1i_misses: 96,
+            l1d_misses: 1804,
+            l2_misses: 1858,
+            l3_misses: 1858,
+        },
+        // ("exchange2", PredictorKind::Mascot)
+        SimStats {
+            cycles: 9557,
+            committed_uops: 20023,
+            committed_loads: 3185,
+            committed_stores: 684,
+            committed_branches: 3185,
+            pred_no_dep: 2734,
+            pred_mdp: 451,
+            pred_smb: 0,
+            missed_dependencies: 2,
+            false_dependencies: 0,
+            wrong_store: 3,
+            smb_errors: 0,
+            correct_mdp: 448,
+            correct_smb: 0,
+            correct_no_dep: 2732,
+            mem_order_squashes: 2,
+            smb_squashes: 0,
+            branch_mispredicts: 309,
+            indirect_mispredicts: 0,
+            loads_bypassed: 0,
+            loads_forwarded: 453,
+            loads_from_cache: 2732,
+            class_direct_bypass: 0,
+            class_no_offset: 0,
+            class_offset: 0,
+            class_mdp_only: 453,
+            dependent_wait_cycles: 4530,
+            dependent_wait_count: 455,
+            stall_frontend: 6023,
+            stall_rob: 0,
+            stall_iq: 0,
+            stall_lq: 0,
+            stall_sb: 0,
+            l1i_misses: 20,
+            l1d_misses: 42,
+            l2_misses: 284,
+            l3_misses: 284,
+        },
+        // ("exchange2", PredictorKind::NoSq)
+        SimStats {
+            cycles: 9605,
+            committed_uops: 20023,
+            committed_loads: 3185,
+            committed_stores: 684,
+            committed_branches: 3185,
+            pred_no_dep: 2734,
+            pred_mdp: 451,
+            pred_smb: 0,
+            missed_dependencies: 2,
+            false_dependencies: 0,
+            wrong_store: 12,
+            smb_errors: 0,
+            correct_mdp: 439,
+            correct_smb: 0,
+            correct_no_dep: 2732,
+            mem_order_squashes: 5,
+            smb_squashes: 0,
+            branch_mispredicts: 309,
+            indirect_mispredicts: 0,
+            loads_bypassed: 0,
+            loads_forwarded: 453,
+            loads_from_cache: 2732,
+            class_direct_bypass: 0,
+            class_no_offset: 0,
+            class_offset: 0,
+            class_mdp_only: 453,
+            dependent_wait_cycles: 4526,
+            dependent_wait_count: 455,
+            stall_frontend: 6059,
+            stall_rob: 0,
+            stall_iq: 0,
+            stall_lq: 0,
+            stall_sb: 0,
+            l1i_misses: 20,
+            l1d_misses: 42,
+            l2_misses: 284,
+            l3_misses: 284,
+        },
+        // ("exchange2", PredictorKind::StoreSets)
+        SimStats {
+            cycles: 9557,
+            committed_uops: 20023,
+            committed_loads: 3185,
+            committed_stores: 684,
+            committed_branches: 3185,
+            pred_no_dep: 2734,
+            pred_mdp: 451,
+            pred_smb: 0,
+            missed_dependencies: 2,
+            false_dependencies: 0,
+            wrong_store: 0,
+            smb_errors: 0,
+            correct_mdp: 451,
+            correct_smb: 0,
+            correct_no_dep: 2732,
+            mem_order_squashes: 2,
+            smb_squashes: 0,
+            branch_mispredicts: 309,
+            indirect_mispredicts: 0,
+            loads_bypassed: 0,
+            loads_forwarded: 453,
+            loads_from_cache: 2732,
+            class_direct_bypass: 0,
+            class_no_offset: 0,
+            class_offset: 0,
+            class_mdp_only: 453,
+            dependent_wait_cycles: 4527,
+            dependent_wait_count: 455,
+            stall_frontend: 6023,
+            stall_rob: 0,
+            stall_iq: 0,
+            stall_lq: 0,
+            stall_sb: 0,
+            l1i_misses: 20,
+            l1d_misses: 42,
+            l2_misses: 284,
+            l3_misses: 284,
+        },
+    ]
+}

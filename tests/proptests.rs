@@ -1,6 +1,11 @@
-//! Property-based tests over the full stack: arbitrary (but well-formed)
-//! traces and outcome streams must never break the simulator or the
-//! predictors, and core invariants must hold for all inputs.
+//! Randomised property tests over the full stack: arbitrary (but
+//! well-formed) traces and outcome streams must never break the simulator
+//! or the predictors, and core invariants must hold for all inputs.
+//!
+//! These were originally written against the `proptest` crate; the build
+//! environment is offline, so they now drive the same properties from a
+//! seeded deterministic RNG (fixed case counts, reproducible failures — the
+//! failing seed is part of the assertion message).
 
 use mascot::{
     BypassClass, LoadOutcome, Mascot, MascotConfig, MemDepPredictor, MemDepPrediction,
@@ -9,47 +14,62 @@ use mascot::{
 use mascot_predictors::{NoSq, Phast, StoreSets};
 use mascot_sim::{simulate, CoreConfig, Trace};
 use mascot_workloads::{generate, WorkloadProfile};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform integer in `[0, bound)` from the test RNG.
+fn below(rng: &mut StdRng, bound: u64) -> u64 {
+    (rng.random::<f64>() * bound as f64) as u64 % bound
+}
 
 /// A random well-formed micro-op stream: stores and loads over a small slot
 /// space (creating genuine aliasing), branches, and ALU ops.
-fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    let op = prop_oneof![
-        // (kind selector, slot, reg, taken)
-        (0u8..=3, 0u64..12, 0u8..16, any::<bool>()),
-    ];
-    proptest::collection::vec(op, 1..max_len).prop_map(|ops| {
-        let mut b = mascot_workloads::TraceBuilder::new();
-        for (i, (kind, slot, reg, taken)) in ops.into_iter().enumerate() {
-            let pc = 0x1000 + (i as u64 % 97) * 4;
-            let addr = 0x10_0000 + slot * 8;
-            match kind {
-                0 => b.alu(pc, [Some(reg), None], Some(reg.wrapping_add(1) % 16), 1 + (slot as u8 % 3)),
-                1 => b.store(pc, addr, 8, reg),
-                2 => b.load(pc, addr, 8, reg, None),
-                _ => b.branch(pc, taken, None),
-            }
+fn arb_trace(rng: &mut StdRng, max_len: usize) -> Trace {
+    let len = 1 + below(rng, max_len as u64 - 1) as usize;
+    let mut b = mascot_workloads::TraceBuilder::new();
+    for i in 0..len {
+        let kind = below(rng, 4) as u8;
+        let slot = below(rng, 12);
+        let reg = below(rng, 16) as u8;
+        let taken = rng.random::<bool>();
+        let pc = 0x1000 + (i as u64 % 97) * 4;
+        let addr = 0x10_0000 + slot * 8;
+        match kind {
+            0 => b.alu(
+                pc,
+                [Some(reg), None],
+                Some(reg.wrapping_add(1) % 16),
+                1 + (slot as u8 % 3),
+            ),
+            1 => b.store(pc, addr, 8, reg),
+            2 => b.load(pc, addr, 8, reg, None),
+            _ => b.branch(pc, taken, None),
         }
-        b.build("prop")
-    })
+    }
+    b.build("prop")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any well-formed trace commits fully under any predictor, and the
-    /// census counters stay consistent.
-    #[test]
-    fn simulator_commits_every_wellformed_trace(trace in arb_trace(400)) {
-        prop_assume!(!trace.is_empty());
-        trace.validate().expect("builder produces consistent ground truth");
+/// Any well-formed trace commits fully under any predictor, and the
+/// census counters stay consistent.
+#[test]
+fn simulator_commits_every_wellformed_trace() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xA11CE + case);
+        let trace = arb_trace(&mut rng, 400);
+        trace
+            .validate()
+            .expect("builder produces consistent ground truth");
         let core = CoreConfig::golden_cove();
         let mut p = Mascot::new(MascotConfig::default()).unwrap();
         let stats = simulate(&trace, &core, &mut p);
-        prop_assert_eq!(stats.committed_uops, trace.len() as u64);
-        prop_assert_eq!(stats.committed_loads, trace.num_loads() as u64);
-        prop_assert_eq!(stats.committed_stores, trace.num_stores() as u64);
-        prop_assert_eq!(stats.committed_branches, trace.num_branches() as u64);
+        assert_eq!(stats.committed_uops, trace.len() as u64, "case {case}");
+        assert_eq!(stats.committed_loads, trace.num_loads() as u64, "case {case}");
+        assert_eq!(stats.committed_stores, trace.num_stores() as u64, "case {case}");
+        assert_eq!(
+            stats.committed_branches,
+            trace.num_branches() as u64,
+            "case {case}"
+        );
         // Every committed load is classified exactly once.
         let classified = stats.correct_no_dep
             + stats.correct_mdp
@@ -58,27 +78,28 @@ proptest! {
             + stats.false_dependencies
             + stats.wrong_store
             + stats.smb_errors;
-        prop_assert_eq!(classified, stats.committed_loads);
+        assert_eq!(classified, stats.committed_loads, "case {case}");
         // Prediction census covers every load too.
-        prop_assert_eq!(
+        assert_eq!(
             stats.pred_no_dep + stats.pred_mdp + stats.pred_smb,
-            stats.committed_loads
+            stats.committed_loads,
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             stats.loads_bypassed + stats.loads_forwarded + stats.loads_from_cache,
-            stats.committed_loads
+            stats.committed_loads,
+            "case {case}"
         );
     }
+}
 
-    /// Arbitrary (prediction, outcome) streams never panic any predictor,
-    /// and storage cost is invariant under training.
-    #[test]
-    fn predictors_survive_arbitrary_training(
-        steps in proptest::collection::vec(
-            (0u64..64, proptest::option::of((1u32..100, 0u8..4, 0u64..32, 0u32..40))),
-            1..300
-        )
-    ) {
+/// Arbitrary (prediction, outcome) streams never panic any predictor,
+/// and storage cost is invariant under training.
+#[test]
+fn predictors_survive_arbitrary_training() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xB0B + case);
+        let steps = 1 + below(&mut rng, 299) as usize;
         let mut mascot = Mascot::new(MascotConfig::default()).unwrap();
         let mut phast = Phast::default();
         let mut nosq = NoSq::default();
@@ -89,24 +110,23 @@ proptest! {
             nosq.storage_bits(),
             sets.storage_bits(),
         );
-        for (pc_sel, dep) in steps {
-            let pc = 0x4000 + pc_sel * 4;
-            let outcome = match dep {
-                None => LoadOutcome::independent(),
-                Some((dist, class, store_sel, branches)) => {
-                    let class = match class {
-                        0 => BypassClass::DirectBypass,
-                        1 => BypassClass::NoOffset,
-                        2 => BypassClass::Offset,
-                        _ => BypassClass::MdpOnly,
-                    };
-                    LoadOutcome::dependent(ObservedDependence {
-                        distance: StoreDistance::new(dist).unwrap(),
-                        class,
-                        store_pc: 0x9000 + store_sel * 4,
-                        branches_between: branches,
-                    })
-                }
+        for _ in 0..steps {
+            let pc = 0x4000 + below(&mut rng, 64) * 4;
+            let outcome = if rng.random::<bool>() {
+                LoadOutcome::independent()
+            } else {
+                let class = match below(&mut rng, 4) {
+                    0 => BypassClass::DirectBypass,
+                    1 => BypassClass::NoOffset,
+                    2 => BypassClass::Offset,
+                    _ => BypassClass::MdpOnly,
+                };
+                LoadOutcome::dependent(ObservedDependence {
+                    distance: StoreDistance::new(1 + below(&mut rng, 99) as u32).unwrap(),
+                    class,
+                    store_pc: 0x9000 + below(&mut rng, 32) * 4,
+                    branches_between: below(&mut rng, 40) as u32,
+                })
             };
             let (p1, m1) = mascot.predict(pc, 1000, None);
             mascot.train(pc, m1, p1, &outcome);
@@ -117,27 +137,29 @@ proptest! {
             let (p4, m4) = sets.predict(pc, 1000, None);
             sets.train(pc, m4, p4, &outcome);
         }
-        prop_assert_eq!(bits.0, mascot.storage_bits());
-        prop_assert_eq!(bits.1, phast.storage_bits());
-        prop_assert_eq!(bits.2, nosq.storage_bits());
-        prop_assert_eq!(bits.3, sets.storage_bits());
+        assert_eq!(bits.0, mascot.storage_bits(), "case {case}");
+        assert_eq!(bits.1, phast.storage_bits(), "case {case}");
+        assert_eq!(bits.2, nosq.storage_bits(), "case {case}");
+        assert_eq!(bits.3, sets.storage_bits(), "case {case}");
     }
+}
 
-    /// MASCOT's prediction is always internally consistent: bypass implies
-    /// dependence, and non-dependence carries no distance.
-    #[test]
-    fn mascot_prediction_invariants(
-        pcs in proptest::collection::vec(0u64..32, 1..200),
-        dep_every in 1u64..5
-    ) {
+/// MASCOT's prediction is always internally consistent: bypass implies
+/// dependence, and non-dependence carries no distance.
+#[test]
+fn mascot_prediction_invariants() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAFE + case);
+        let n = 1 + below(&mut rng, 199) as usize;
+        let dep_every = 1 + below(&mut rng, 4);
         let mut p = Mascot::new(MascotConfig::default()).unwrap();
-        for (i, pc_sel) in pcs.iter().enumerate() {
-            let pc = 0x100 + pc_sel * 4;
+        for i in 0..n {
+            let pc = 0x100 + below(&mut rng, 32) * 4;
             let (pred, meta) = p.predict(pc, i as u64, None);
             match pred {
-                MemDepPrediction::NoDependence => prop_assert!(pred.distance().is_none()),
-                MemDepPrediction::Dependence { .. } => prop_assert!(!pred.is_bypass()),
-                MemDepPrediction::Bypass { .. } => prop_assert!(pred.is_dependence()),
+                MemDepPrediction::NoDependence => assert!(pred.distance().is_none()),
+                MemDepPrediction::Dependence { .. } => assert!(!pred.is_bypass()),
+                MemDepPrediction::Bypass { .. } => assert!(pred.is_dependence()),
             }
             let outcome = if (i as u64).is_multiple_of(dep_every) {
                 LoadOutcome::dependent(ObservedDependence {
@@ -152,69 +174,64 @@ proptest! {
             p.train(pc, meta, pred, &outcome);
         }
     }
+}
 
-    /// Workload generation is total over the valid profile space and always
-    /// yields consistent ground truth.
-    #[test]
-    fn generator_is_total_over_profiles(
-        hammocks in 0usize..4,
-        spills in 0usize..4,
-        streams in 1usize..6,
-        noise in 0usize..4,
-        ctx in 1usize..6,
-        chase in 0usize..3,
-        chain in 0usize..4,
-        seed in 0u64..1000,
-    ) {
+/// Workload generation is total over the valid profile space and always
+/// yields consistent ground truth.
+#[test]
+fn generator_is_total_over_profiles() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xD00D + case);
         let profile = WorkloadProfile {
-            hammocks,
-            spill_fills: spills,
-            stream_loads: streams,
-            chase_loads: chase,
-            noise_branches: noise,
-            code_contexts: ctx,
-            store_chase: chain,
+            hammocks: below(&mut rng, 4) as usize,
+            spill_fills: below(&mut rng, 4) as usize,
+            stream_loads: 1 + below(&mut rng, 5) as usize,
+            chase_loads: below(&mut rng, 3) as usize,
+            noise_branches: below(&mut rng, 4) as usize,
+            code_contexts: 1 + below(&mut rng, 5) as usize,
+            store_chase: below(&mut rng, 4) as usize,
             ..WorkloadProfile::base("prop")
         };
-        prop_assume!(profile.validate().is_ok());
-        let trace = generate(&profile, seed, 3_000);
-        prop_assert!(trace.len() >= 3_000);
-        trace.validate().map_err(TestCaseError::fail)?;
+        if profile.validate().is_err() {
+            continue;
+        }
+        let trace = generate(&profile, below(&mut rng, 1000), 3_000);
+        assert!(trace.len() >= 3_000, "case {case}");
+        trace.validate().unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The binary trace codec is lossless over arbitrary generated
-    /// workloads.
-    #[test]
-    fn codec_roundtrips_generated_traces(
-        seed in 0u64..500,
-        hammocks in 0usize..3,
-        chain in 0usize..3,
-    ) {
+/// The binary trace codec is lossless over arbitrary generated workloads.
+#[test]
+fn codec_roundtrips_generated_traces() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DEC + case);
         let profile = WorkloadProfile {
-            hammocks,
-            store_chase: chain,
+            hammocks: below(&mut rng, 3) as usize,
+            store_chase: below(&mut rng, 3) as usize,
             ..WorkloadProfile::base("codec-prop")
         };
-        let trace = generate(&profile, seed, 2_000);
+        let trace = generate(&profile, below(&mut rng, 500), 2_000);
         let bytes = mascot_sim::codec::encode(&trace);
-        let back = mascot_sim::codec::decode(&bytes).map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert_eq!(trace.name, back.name);
-        prop_assert_eq!(trace.uops, back.uops);
+        let back = mascot_sim::codec::decode(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(trace.name, back.name, "case {case}");
+        assert_eq!(trace.uops, back.uops, "case {case}");
     }
+}
 
-    /// Single-byte corruption of an encoded trace never panics the decoder:
-    /// it either errors out or yields a (different but) well-formed trace.
-    #[test]
-    fn codec_survives_corruption(pos_frac in 0.0f64..1.0, byte in 0u8..=255) {
-        let profile = WorkloadProfile::base("codec-corrupt");
-        let trace = generate(&profile, 7, 500);
-        let mut bytes = mascot_sim::codec::encode(&trace);
-        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
-        bytes[pos] = byte;
+/// Single-byte corruption of an encoded trace never panics the decoder:
+/// it either errors out or yields a (different but) well-formed trace.
+#[test]
+fn codec_survives_corruption() {
+    let profile = WorkloadProfile::base("codec-corrupt");
+    let trace = generate(&profile, 7, 500);
+    let clean = mascot_sim::codec::encode(&trace);
+    let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+    for _ in 0..64 {
+        let mut bytes = clean.clone();
+        let pos = below(&mut rng, bytes.len() as u64) as usize;
+        bytes[pos] = below(&mut rng, 256) as u8;
         let _ = mascot_sim::codec::decode(&bytes); // must not panic
     }
 }

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access. This crate provides the
+//! `Serialize`/`Deserialize` trait names and re-exports the no-op derive
+//! macros so the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compile unchanged. No serialisation machinery is provided —
+//! nothing in the workspace serialises at runtime; results are written as
+//! plain text / hand-rolled JSON.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the real derive macros
+//! cannot be fetched. The codebase derives `Serialize`/`Deserialize` on its
+//! public types for downstream consumers but never serialises anything
+//! itself, so expanding the derives to nothing keeps every crate compiling
+//! without changing behaviour. The `serde` helper attribute is declared so
+//! field annotations like `#[serde(default)]` remain accepted.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
