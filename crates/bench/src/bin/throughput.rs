@@ -14,8 +14,7 @@
 //! so each workload is generated once and shared across predictors and
 //! repeat runs; the measured window covers simulation only.
 
-use std::fmt::Write as _;
-
+use mascot_bench::json::{scan_f64_field, JsonObject};
 use mascot_bench::{run_one, table, PredictorKind, RunResult, TextTable};
 use mascot_sim::CoreConfig;
 use mascot_workloads::spec;
@@ -88,37 +87,30 @@ fn render(rows: &[RunResult], aggregate: f64) -> String {
 }
 
 fn to_json(rows: &[RunResult], aggregate: f64) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"uops\": {UOPS},");
-    let _ = writeln!(s, "  \"seed\": {SEED},");
-    let _ = writeln!(s, "  \"iterations\": {ITERS},");
-    let _ = writeln!(s, "  \"aggregate_uops_per_sec\": {aggregate:.0},");
-    s.push_str("  \"runs\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"benchmark\": \"{}\", \"predictor\": \"{}\", \
-             \"wall_ms\": {:.2}, \"uops_per_sec\": {:.0}}}",
-            r.benchmark, r.predictor, r.wall_ms, r.uops_per_sec
-        );
-        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let run_rows: Vec<JsonObject> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .str("benchmark", &r.benchmark)
+                .str("predictor", &r.predictor)
+                .float("wall_ms", r.wall_ms, 2)
+                .float("uops_per_sec", r.uops_per_sec, 0)
+        })
+        .collect();
+    JsonObject::new()
+        .int("uops", UOPS as u64)
+        .int("seed", SEED)
+        .int("iterations", ITERS as u64)
+        .float("aggregate_uops_per_sec", aggregate, 0)
+        .rows("runs", &run_rows)
+        .render()
 }
 
 /// Pulls `"aggregate_uops_per_sec": <number>` out of the baseline file.
 /// The file is machine-written by this binary, so a field scan is enough —
 /// no JSON parser in the tree (offline build, no serde_json).
 fn baseline_aggregate(json: &str) -> Option<f64> {
-    let key = "\"aggregate_uops_per_sec\":";
-    let at = json.find(key)? + key.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    scan_f64_field(json, "aggregate_uops_per_sec")
 }
 
 fn main() {

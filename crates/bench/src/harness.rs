@@ -1,15 +1,15 @@
 //! Experiment harness: builds predictors, runs (benchmark × predictor ×
 //! core) simulations in parallel, and aggregates results.
 
-use std::borrow::Cow;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use mascot::config::MascotConfig;
-use mascot::mdp_only::MascotMdpOnly;
-use mascot::predictor::Mascot;
 use mascot::MemDepPredictor;
-use mascot_predictors::{AnyPredictor, MdpTage, NoSq, PerfectMdp, PerfectMdpSmb, Phast, StoreSets};
+use mascot_predictors::AnyPredictor;
+// The registry of buildable predictor configurations lives in
+// `mascot-predictors` (shared with `mascot-serve`); re-exported here so
+// every figure/table binary keeps importing it from the harness.
+pub use mascot_predictors::PredictorKind;
 use mascot_sim::{simulate, CoreConfig, SimStats, Trace};
 use mascot_workloads::{generate, WorkloadProfile};
 use serde::{Deserialize, Serialize};
@@ -18,87 +18,6 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_TRACE_UOPS: usize = 150_000;
 /// Default generation seed.
 pub const DEFAULT_SEED: u64 = 2025;
-
-/// Every predictor configuration evaluated across the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum PredictorKind {
-    /// MASCOT, default 14 KiB geometry, MDP + SMB.
-    Mascot,
-    /// MASCOT used for MDP only (Fig. 9).
-    MascotMdp,
-    /// MASCOT-OPT (§VI-D) with the tag width reduced by the given number of
-    /// bits (0 = plain MASCOT-OPT; 4 = the paper's 10.1 KiB point).
-    MascotOpt(u8),
-    /// The Fig. 11 ablation: MASCOT without non-dependence allocation.
-    TageNoNd,
-    /// PHAST (MDP only).
-    Phast,
-    /// NoSQ-style MDP + SMB.
-    NoSq,
-    /// Historical MDP-TAGE baseline (§II): 3-bit distance, 1-bit usefulness.
-    MdpTage,
-    /// Store Sets (MDP only).
-    StoreSets,
-    /// Perfect MDP oracle (the normalisation baseline).
-    PerfectMdp,
-    /// Perfect MDP + SMB oracle.
-    PerfectMdpSmb,
-}
-
-impl PredictorKind {
-    /// Builds a fresh predictor instance.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a MASCOT configuration fails validation (indicates a bug in
-    /// the preset, not user input).
-    pub fn build(self) -> AnyPredictor {
-        match self {
-            PredictorKind::Mascot => {
-                AnyPredictor::Mascot(Mascot::new(MascotConfig::default()).expect("valid preset"))
-            }
-            PredictorKind::MascotMdp => AnyPredictor::MascotMdp(
-                MascotMdpOnly::new(MascotConfig::default()).expect("valid preset"),
-            ),
-            PredictorKind::MascotOpt(tag_reduction) => {
-                let cfg = if tag_reduction == 0 {
-                    MascotConfig::opt()
-                } else {
-                    MascotConfig::opt_with_tag_reduction(tag_reduction)
-                };
-                AnyPredictor::Mascot(Mascot::new(cfg).expect("valid preset"))
-            }
-            PredictorKind::TageNoNd => AnyPredictor::Mascot(
-                Mascot::without_non_dependence_allocation(MascotConfig::default())
-                    .expect("valid preset"),
-            ),
-            PredictorKind::Phast => AnyPredictor::Phast(Phast::default()),
-            PredictorKind::NoSq => AnyPredictor::NoSq(NoSq::default()),
-            PredictorKind::MdpTage => AnyPredictor::MdpTage(MdpTage::default()),
-            PredictorKind::StoreSets => AnyPredictor::StoreSets(StoreSets::default()),
-            PredictorKind::PerfectMdp => AnyPredictor::PerfectMdp(PerfectMdp::new()),
-            PredictorKind::PerfectMdpSmb => AnyPredictor::PerfectMdpSmb(PerfectMdpSmb::new()),
-        }
-    }
-
-    /// Display label used in tables. Borrowed for every fixed kind; only
-    /// the parameterised `MascotOpt(n > 0)` labels allocate.
-    pub fn label(self) -> Cow<'static, str> {
-        match self {
-            PredictorKind::Mascot => Cow::Borrowed("mascot"),
-            PredictorKind::MascotMdp => Cow::Borrowed("mascot-mdp"),
-            PredictorKind::MascotOpt(0) => Cow::Borrowed("mascot-opt"),
-            PredictorKind::MascotOpt(n) => Cow::Owned(format!("mascot-opt-tag-{n}")),
-            PredictorKind::TageNoNd => Cow::Borrowed("tage-no-nd"),
-            PredictorKind::Phast => Cow::Borrowed("phast"),
-            PredictorKind::NoSq => Cow::Borrowed("nosq"),
-            PredictorKind::MdpTage => Cow::Borrowed("mdp-tage"),
-            PredictorKind::StoreSets => Cow::Borrowed("store-sets"),
-            PredictorKind::PerfectMdp => Cow::Borrowed("perfect-mdp"),
-            PredictorKind::PerfectMdpSmb => Cow::Borrowed("perfect-mdp-smb"),
-        }
-    }
-}
 
 /// Returns the trace for `(profile, seed, uops)`, generating it at most
 /// once per process and sharing it read-only afterwards. A full suite run

@@ -12,6 +12,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod json;
 pub mod table;
 
 pub use harness::{

@@ -55,6 +55,13 @@ pub enum AnyPredictor {
     PerfectMdpSmb(PerfectMdpSmb),
 }
 
+// Sharded serving moves whole predictor instances onto worker threads;
+// keep the enum (and thus every wrapped predictor) `Send` + `'static`.
+const _: () = {
+    const fn assert_send_static<T: Send + 'static>() {}
+    assert_send_static::<AnyPredictor>();
+};
+
 impl AnyPredictor {
     /// The wrapped MASCOT instance, if this is a MASCOT-family predictor
     /// (used by the Figs. 13–14 tuning reports).

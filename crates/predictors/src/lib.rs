@@ -14,11 +14,16 @@
 //!
 //! The Fig. 11 ablation ("TAGE without non-dependence allocation") is
 //! constructed via [`mascot::Mascot::without_non_dependence_allocation`].
+//!
+//! [`PredictorKind`] is the runtime registry over all of the above: it
+//! names, parses, and builds each configuration for the harness and for
+//! the sharded `mascot-serve` service.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod any;
+pub mod kind;
 pub mod mdp_tage;
 pub mod nosq;
 pub mod oracle;
@@ -26,6 +31,7 @@ pub mod phast;
 pub mod store_sets;
 
 pub use any::{AnyMeta, AnyPredictor};
+pub use kind::{ParseKindError, PredictorKind};
 pub use mdp_tage::{MdpTage, MdpTageConfig, MdpTageMeta};
 pub use nosq::{NoSq, NoSqConfig, NoSqMeta};
 pub use oracle::{PerfectMdp, PerfectMdpSmb};

@@ -1,0 +1,540 @@
+//! `mascot-loadgen` — closed- and open-loop benchmark client for `mascotd`.
+//!
+//! ```text
+//! mascot-loadgen [--addr HOST:PORT | --inproc] [--predictor KIND]
+//!                [--shards N] [--threads N] [--batch N]
+//!                [--duration-ms N] [--train-every N] [--open-loop QPS]
+//!                [--smoke] [--check]
+//! ```
+//!
+//! Each client thread owns one connection and issues predict batches of
+//! synthetic loads; every `--train-every`th batch is followed by a train
+//! request quoting the returned tickets, so the server sees the mixed
+//! predict/train traffic a simulator frontend would generate. `Busy`
+//! responses are counted and skipped (the server acknowledged and dropped
+//! the batch); *lost* means a request got no response at all, and any
+//! non-zero count fails the run.
+//!
+//! Closed loop (default): the next batch is sent when the previous reply
+//! arrives; latency is response time. Open loop (`--open-loop QPS`):
+//! batches are scheduled on a fixed timetable and latency is measured
+//! from the *scheduled* send time, so a stalling server accrues queueing
+//! delay instead of quietly slowing the offered load (no coordinated
+//! omission).
+//!
+//! Like `throughput.rs` and `BENCH_sim_throughput.json`: a default run
+//! rewrites `BENCH_serve.json` at the repo root; `--check` compares
+//! against the committed file and fails on a large regression; `--smoke`
+//! is a short correctness run (nonzero QPS, zero lost, clean shutdown)
+//! that writes nothing.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mascot::prediction::{BypassClass, LoadOutcome, ObservedDependence, StoreDistance};
+use mascot_bench::json::{scan_f64_field, JsonObject};
+use mascot_predictors::PredictorKind;
+use mascot_serve::metrics::{Histogram, HistogramSnapshot};
+use mascot_serve::shard::ShardPoolConfig;
+use mascot_serve::wire::{PredictItem, StatsReport, TrainItem, MAX_BATCH};
+use mascot_serve::{Client, ServeConfig, Served, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct synthetic load PCs (spread across shards by the router).
+const NUM_PCS: u64 = 4096;
+/// Base address of the synthetic PC range.
+const PC_BASE: u64 = 0x40_0000;
+/// Fraction of trained outcomes that report a dependence.
+const DEP_PROBABILITY: f64 = 0.3;
+
+/// Allowed throughput regression vs the committed baseline in `--check`
+/// mode. Loopback RPC on a shared machine is noisy, so the gate is loose;
+/// the committed number documents the achieved rate.
+const REGRESSION_TOLERANCE: f64 = 0.5;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+
+#[derive(Clone)]
+struct Args {
+    addr: Option<String>,
+    kind: PredictorKind,
+    shards: usize,
+    threads: usize,
+    batch: usize,
+    duration: Duration,
+    train_every: usize,
+    open_loop_qps: Option<u64>,
+    smoke: bool,
+    check: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            kind: PredictorKind::Mascot,
+            shards: 4,
+            threads: 4,
+            batch: 64,
+            duration: Duration::from_millis(3000),
+            train_every: 1,
+            open_loop_qps: None,
+            smoke: false,
+            check: false,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: mascot-loadgen [--addr HOST:PORT | --inproc] [--predictor KIND]\n\
+    \x20                     [--shards N] [--threads N] [--batch N]\n\
+    \x20                     [--duration-ms N] [--train-every N] [--open-loop QPS]\n\
+    \x20                     [--smoke] [--check]\n\
+    Without --addr an in-process server is spawned (--predictor/--shards\n\
+    size it). --smoke runs short and asserts correctness; --check compares\n\
+    throughput against the committed BENCH_serve.json."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--inproc" => args.addr = None,
+            "--predictor" => {
+                args.kind = value("--predictor")?
+                    .parse::<PredictorKind>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--shards" => args.shards = parse_positive(&value("--shards")?, "--shards")?,
+            "--threads" => args.threads = parse_positive(&value("--threads")?, "--threads")?,
+            "--batch" => {
+                args.batch = parse_positive(&value("--batch")?, "--batch")?;
+                if args.batch > MAX_BATCH {
+                    return Err(format!("--batch exceeds wire limit of {MAX_BATCH}"));
+                }
+            }
+            "--duration-ms" => {
+                args.duration = Duration::from_millis(parse_positive(
+                    &value("--duration-ms")?,
+                    "--duration-ms",
+                )? as u64);
+            }
+            "--train-every" => {
+                args.train_every = parse_positive(&value("--train-every")?, "--train-every")?;
+            }
+            "--open-loop" => {
+                args.open_loop_qps =
+                    Some(parse_positive(&value("--open-loop")?, "--open-loop")? as u64);
+            }
+            "--smoke" => {
+                args.smoke = true;
+                args.duration = Duration::from_millis(400);
+            }
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_positive(s: &str, name: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{name} must be a positive integer, got {s:?}"))
+}
+
+/// Per-thread tallies, merged after the run.
+#[derive(Default)]
+struct ThreadTotals {
+    predict_items: u64,
+    predict_frames: u64,
+    train_items: u64,
+    busy_items: u64,
+    lost: u64,
+    latency: HistogramSnapshot,
+}
+
+impl ThreadTotals {
+    fn merge(&mut self, other: &ThreadTotals) {
+        self.predict_items += other.predict_items;
+        self.predict_frames += other.predict_frames;
+        self.train_items += other.train_items;
+        self.busy_items += other.busy_items;
+        self.lost += other.lost;
+        self.latency.merge(&other.latency);
+    }
+}
+
+fn synth_outcome(rng: &mut StdRng, pc: u64) -> LoadOutcome {
+    if rng.random::<f64>() < DEP_PROBABILITY {
+        let distance = StoreDistance::new(1 + rng.random::<u32>() % 32).expect("1..=32 in range");
+        LoadOutcome::dependent(ObservedDependence {
+            distance,
+            class: BypassClass::DirectBypass,
+            store_pc: pc.wrapping_sub(8),
+            branches_between: rng.random::<u32>() % 4,
+        })
+    } else {
+        LoadOutcome::independent()
+    }
+}
+
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// One client thread: issue batches until the deadline, then report.
+fn client_thread(
+    addr: &str,
+    args: &Args,
+    thread_id: usize,
+    start: Instant,
+    failed: &AtomicBool,
+) -> ThreadTotals {
+    let mut totals = ThreadTotals::default();
+    let latency = Histogram::new();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mascot-loadgen: thread {thread_id}: connect failed: {e}");
+            failed.store(true, Ordering::Relaxed);
+            return totals;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(0x10adu64 ^ (thread_id as u64) << 32);
+    let deadline = start + args.duration;
+    // Open loop: this thread's share of the target frame rate.
+    let interval = args
+        .open_loop_qps
+        .map(|qps| Duration::from_secs_f64(args.threads as f64 / qps.max(1) as f64));
+    let mut store_seq = 0u64;
+    let mut batch_no = 0u64;
+
+    while Instant::now() < deadline {
+        let scheduled = match interval {
+            Some(iv) => {
+                let at = start + iv.mul_f64(batch_no as f64);
+                if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                at
+            }
+            None => Instant::now(),
+        };
+        batch_no += 1;
+        let items: Vec<PredictItem> = (0..args.batch)
+            .map(|_| {
+                store_seq += 1 + rng.random::<u64>() % 3;
+                PredictItem {
+                    pc: PC_BASE + (rng.random::<u64>() % NUM_PCS) * 4,
+                    store_seq,
+                }
+            })
+            .collect();
+        let n = items.len() as u64;
+        let replies = match client.predict(items.clone()) {
+            Ok(Served::Ok(replies)) => {
+                latency.record_ns(elapsed_ns(scheduled));
+                totals.predict_items += n;
+                totals.predict_frames += 1;
+                replies
+            }
+            Ok(Served::Busy) => {
+                latency.record_ns(elapsed_ns(scheduled));
+                totals.busy_items += n;
+                // Back off a little: the shard queues are full.
+                std::thread::sleep(Duration::from_micros(50));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("mascot-loadgen: thread {thread_id}: predict failed: {e}");
+                totals.lost += n;
+                failed.store(true, Ordering::Relaxed);
+                break;
+            }
+        };
+        if batch_no % args.train_every as u64 != 0 {
+            continue;
+        }
+        // Reply order matches request order: pair tickets with the items.
+        let trains: Vec<TrainItem> = items
+            .iter()
+            .zip(&replies)
+            .map(|(item, r)| TrainItem {
+                ticket: r.ticket,
+                pc: item.pc,
+                outcome: synth_outcome(&mut rng, item.pc),
+            })
+            .collect();
+        let n = trains.len() as u64;
+        match client.train(trains) {
+            Ok(Served::Ok(_)) => totals.train_items += n,
+            Ok(Served::Busy) => totals.busy_items += n,
+            Err(e) => {
+                eprintln!("mascot-loadgen: thread {thread_id}: train failed: {e}");
+                totals.lost += n;
+                failed.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    totals.latency = latency.snapshot();
+    totals
+}
+
+struct RunOutcome {
+    totals: ThreadTotals,
+    elapsed: Duration,
+    stats: StatsReport,
+    served_at_shutdown: u64,
+    drained: StatsReport,
+    failed: bool,
+}
+
+fn run(args: &Args) -> Result<RunOutcome, String> {
+    // In-process server unless pointed at a remote one.
+    let (addr, server_handle) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                kind: args.kind,
+                pool: ShardPoolConfig {
+                    shards: args.shards,
+                    ..Default::default()
+                },
+            };
+            let server = Server::bind(&cfg).map_err(|e| format!("bind failed: {e}"))?;
+            let (addr, handle) = server.spawn();
+            (addr.to_string(), Some(handle))
+        }
+    };
+
+    let failed = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..args.threads)
+        .map(|thread_id| {
+            let addr = addr.clone();
+            let args = args.clone();
+            let failed = Arc::clone(&failed);
+            std::thread::spawn(move || client_thread(&addr, &args, thread_id, start, &failed))
+        })
+        .collect();
+    let mut totals = ThreadTotals::default();
+    for worker in workers {
+        totals.merge(&worker.join().map_err(|_| "client thread panicked")?);
+    }
+    let elapsed = start.elapsed();
+
+    // Control connection: final server-side stats, then graceful shutdown.
+    let mut control =
+        Client::connect(&addr).map_err(|e| format!("control connect failed: {e}"))?;
+    let stats = control.stats().map_err(|e| format!("stats failed: {e}"))?;
+    let served_at_shutdown = control
+        .shutdown()
+        .map_err(|e| format!("shutdown failed: {e}"))?;
+    let drained = match server_handle {
+        Some(handle) => handle.join().map_err(|_| "server thread panicked")?,
+        // Remote server: it drains on its own; reuse the last snapshot.
+        None => stats.clone(),
+    };
+    Ok(RunOutcome {
+        totals,
+        elapsed,
+        stats,
+        served_at_shutdown,
+        drained,
+        failed: failed.load(Ordering::Relaxed),
+    })
+}
+
+fn to_json(args: &Args, out: &RunOutcome, qps: f64) -> String {
+    JsonObject::new()
+        .str("predictor", &args.kind.label())
+        .int("shards", args.shards as u64)
+        .int("threads", args.threads as u64)
+        .int("batch", args.batch as u64)
+        .int("duration_ms", out.elapsed.as_millis() as u64)
+        .str(
+            "mode",
+            if args.open_loop_qps.is_some() {
+                "open-loop"
+            } else {
+                "closed-loop"
+            },
+        )
+        .float("predict_items_per_sec", qps, 0)
+        .float(
+            "predict_frames_per_sec",
+            out.totals.predict_frames as f64 / out.elapsed.as_secs_f64(),
+            0,
+        )
+        .int("predict_items", out.totals.predict_items)
+        .int("train_items", out.totals.train_items)
+        .int("busy_items", out.totals.busy_items)
+        .int("lost", out.totals.lost)
+        .float(
+            "latency_p50_us",
+            out.totals.latency.quantile_ns(0.50) as f64 / 1e3,
+            1,
+        )
+        .float(
+            "latency_p99_us",
+            out.totals.latency.quantile_ns(0.99) as f64 / 1e3,
+            1,
+        )
+        .int("server_requests", out.drained.total_requests())
+        .int("server_predicts", out.drained.total_predicts())
+        .int("server_trains", out.drained.total_trains())
+        .int("server_rejected", out.drained.total_rejected())
+        .float("shard_service_p99_us", worst_service_p99_us(&out.stats), 1)
+        .render()
+}
+
+/// Slowest shard's p99 job service time (from the pre-shutdown snapshot),
+/// in microseconds. Percentiles cannot be merged across shards, so the
+/// worst shard is the honest summary.
+fn worst_service_p99_us(stats: &StatsReport) -> f64 {
+    stats
+        .shards
+        .iter()
+        .map(|s| s.service_p99_ns)
+        .max()
+        .unwrap_or(0) as f64
+        / 1e3
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mascot-loadgen: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let out = match run(&args) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("mascot-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let qps = out.totals.predict_items as f64 / out.elapsed.as_secs_f64();
+    println!(
+        "{} predict items in {:.2}s: {:.0} items/s ({:.0} frames/s), \
+         p50 {:.1}us p99 {:.1}us, {} trained, {} busy, {} lost",
+        out.totals.predict_items,
+        out.elapsed.as_secs_f64(),
+        qps,
+        out.totals.predict_frames as f64 / out.elapsed.as_secs_f64(),
+        out.totals.latency.quantile_ns(0.50) as f64 / 1e3,
+        out.totals.latency.quantile_ns(0.99) as f64 / 1e3,
+        out.totals.train_items,
+        out.totals.busy_items,
+        out.totals.lost,
+    );
+    println!(
+        "server: {} requests ({} predicts, {} trains, {} rejected) over {} shards; \
+         {} served at shutdown",
+        out.drained.total_requests(),
+        out.drained.total_predicts(),
+        out.drained.total_trains(),
+        out.drained.total_rejected(),
+        out.drained.shards.len(),
+        out.served_at_shutdown,
+    );
+    println!(
+        "server: worst-shard p99 job service time {:.1}us",
+        worst_service_p99_us(&out.stats)
+    );
+
+    if out.failed || out.totals.lost > 0 {
+        eprintln!("FAIL: {} lost/unanswered requests", out.totals.lost);
+        return ExitCode::FAILURE;
+    }
+
+    if args.smoke {
+        if out.totals.predict_items == 0 || qps <= 0.0 {
+            eprintln!("FAIL: smoke run achieved zero QPS");
+            return ExitCode::FAILURE;
+        }
+        // A drained server must have answered every item the clients saw
+        // answered (it may have done more: batches it processed for
+        // requests that were reported Busy at the frame level).
+        let client_items = out.totals.predict_items + out.totals.train_items;
+        if out.drained.total_requests() < client_items {
+            eprintln!(
+                "FAIL: server drained {} items but clients saw {client_items} answered",
+                out.drained.total_requests()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("smoke ok: nonzero QPS, zero lost, clean drain");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.check {
+        let baseline = match std::fs::read_to_string(BASELINE_PATH) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("no committed baseline at {BASELINE_PATH}: {e}");
+                eprintln!("run mascot-loadgen without --check to create it");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(base) = scan_f64_field(&baseline, "predict_items_per_sec") else {
+            eprintln!("malformed baseline: missing predict_items_per_sec");
+            return ExitCode::from(2);
+        };
+        let ratio = qps / base;
+        println!("baseline: {base:.0} items/s, ratio {ratio:.3}");
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            eprintln!(
+                "FAIL: serve throughput regressed {:.1}% (> {:.0}% tolerance)",
+                (1.0 - ratio) * 100.0,
+                REGRESSION_TOLERANCE * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("serve throughput check passed");
+        return ExitCode::SUCCESS;
+    }
+
+    let json = to_json(&args, &out, qps);
+    if let Err(e) = std::fs::write(BASELINE_PATH, json) {
+        eprintln!("failed to write {BASELINE_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {BASELINE_PATH}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_outcomes_mix_dependences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dependent = (0..1000)
+            .filter(|_| synth_outcome(&mut rng, PC_BASE).is_dependent())
+            .count();
+        assert!(dependent > 100 && dependent < 600, "got {dependent}");
+    }
+}

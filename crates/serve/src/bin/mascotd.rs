@@ -1,0 +1,167 @@
+//! `mascotd` — the sharded MASCOT prediction server.
+//!
+//! ```text
+//! mascotd [--addr HOST:PORT] [--predictor KIND] [--shards N]
+//!         [--queue-depth N] [--max-batch N]
+//!         [--replay TRACE] [--port-file PATH]
+//! ```
+//!
+//! `--replay` warms every shard by replaying a trace as training traffic
+//! before the server starts accepting connections. The argument is either
+//! a path to an `.mtrc` file (see `mascot_sim::codec`) or the name of a
+//! built-in workload profile (e.g. `perlbench2`), which is generated on
+//! the fly.
+//!
+//! `--port-file` writes the bound address (one line) once the listener is
+//! up — scripts bind port 0 and discover the real port from the file.
+
+use std::process::ExitCode;
+
+use mascot_predictors::PredictorKind;
+use mascot_serve::{replay_trace, ServeConfig, Server};
+use mascot_sim::uop::Trace;
+
+/// Uops generated when `--replay` names a workload profile.
+const REPLAY_GEN_UOPS: usize = 150_000;
+/// Seed for generated replay traces.
+const REPLAY_GEN_SEED: u64 = 2025;
+
+struct Args {
+    cfg: ServeConfig,
+    replay: Option<String>,
+    port_file: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: mascotd [--addr HOST:PORT] [--predictor KIND] [--shards N]\n\
+    \x20              [--queue-depth N] [--max-batch N]\n\
+    \x20              [--replay TRACE.mtrc|WORKLOAD] [--port-file PATH]\n\
+    KIND is a predictor label (default: mascot); see `mascot-loadgen --help`."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ServeConfig::default(),
+        replay: None,
+        port_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.cfg.addr = value("--addr")?,
+            "--predictor" => {
+                args.cfg.kind = value("--predictor")?
+                    .parse::<PredictorKind>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--shards" => {
+                args.cfg.pool.shards = parse_positive(&value("--shards")?, "--shards")?;
+            }
+            "--queue-depth" => {
+                args.cfg.pool.queue_depth =
+                    parse_positive(&value("--queue-depth")?, "--queue-depth")?;
+            }
+            "--max-batch" => {
+                args.cfg.pool.max_batch = parse_positive(&value("--max-batch")?, "--max-batch")?;
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_positive(s: &str, name: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{name} must be a positive integer, got {s:?}"))
+}
+
+/// Resolves `--replay`: a readable `.mtrc` file wins; otherwise the name
+/// of a built-in workload profile.
+fn load_replay_trace(spec_str: &str) -> Result<Trace, String> {
+    match std::fs::read(spec_str) {
+        Ok(bytes) => mascot_sim::codec::decode(&bytes)
+            .map_err(|e| format!("failed to decode {spec_str}: {e}")),
+        Err(read_err) => match mascot_workloads::spec::profile(spec_str) {
+            Some(profile) => Ok(mascot_workloads::generator::generate(
+                &profile,
+                REPLAY_GEN_SEED,
+                REPLAY_GEN_UOPS,
+            )),
+            None => Err(format!(
+                "--replay {spec_str:?} is neither a readable trace ({read_err}) \
+                 nor a known workload profile"
+            )),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mascotd: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let server = match Server::bind(&args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mascotd: failed to bind {}: {e}", args.cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!(
+        "mascotd: {} x{} shards on {addr}",
+        args.cfg.kind.label(),
+        args.cfg.pool.shards
+    );
+
+    if let Some(spec_str) = &args.replay {
+        let trace = match load_replay_trace(spec_str) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mascotd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = replay_trace(server.pool(), &trace);
+        eprintln!(
+            "mascotd: replayed {} uops ({} loads, {} trained, {} stale) in {} segments",
+            report.uops, report.loads, report.applied, report.stale, report.segments
+        );
+    }
+
+    // Written only after bind (and replay warm-up): the file appearing
+    // means the server is ready for connections.
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("mascotd: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let stats = server.run();
+    eprintln!(
+        "mascotd: drained; {} requests ({} predicts, {} trains, {} stale, {} rejected)",
+        stats.total_requests(),
+        stats.total_predicts(),
+        stats.total_trains(),
+        stats.shards.iter().map(|s| s.stale_trains).sum::<u64>(),
+        stats.total_rejected(),
+    );
+    ExitCode::SUCCESS
+}

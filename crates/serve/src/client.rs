@@ -1,0 +1,109 @@
+//! A minimal synchronous client for the `mascot-serve` wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time; the load generator opens a client per thread. Convenience
+//! wrappers return the typed payload and surface protocol-level `Busy` /
+//! `Error` responses as values rather than errors, since backpressure is
+//! an expected outcome the caller must handle.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    self, PredictItem, PredictReply, Request, Response, StatsReport, TrainItem, WireError,
+};
+
+/// A connected `mascot-serve` client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// Outcome of a predict or train call: served, or pushed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Served<T> {
+    /// The request was processed.
+    Ok(T),
+    /// A shard queue was full; retry later.
+    Busy,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request frame and reads the matching response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on I/O failure, a malformed response, or a
+    /// connection closed before the response arrived.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        self.stream.write_all(&req.encode_frame())?;
+        let (code, payload) = wire::read_frame(&mut self.stream)?.ok_or(WireError::Closed)?;
+        Response::decode(req.opcode(), code, &payload)
+    }
+
+    /// Predicts a batch of loads.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors as in [`Client::request`]; a server-side `Error`
+    /// response is mapped to [`WireError::Corrupt`].
+    pub fn predict(&mut self, items: Vec<PredictItem>) -> Result<Served<Vec<PredictReply>>, WireError> {
+        match self.request(&Request::Predict(items))? {
+            Response::Predict(replies) => Ok(Served::Ok(replies)),
+            Response::Busy => Ok(Served::Busy),
+            Response::Error(_) => Err(WireError::Corrupt("server rejected predict")),
+            _ => Err(WireError::Corrupt("mismatched response")),
+        }
+    }
+
+    /// Trains from a batch of outcomes; returns `(applied, stale)` counts.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors as in [`Client::request`]; a server-side `Error`
+    /// response is mapped to [`WireError::Corrupt`].
+    pub fn train(&mut self, items: Vec<TrainItem>) -> Result<Served<(u32, u32)>, WireError> {
+        match self.request(&Request::Train(items))? {
+            Response::Train { applied, stale } => Ok(Served::Ok((applied, stale))),
+            Response::Busy => Ok(Served::Busy),
+            Response::Error(_) => Err(WireError::Corrupt("server rejected train")),
+            _ => Err(WireError::Corrupt("mismatched response")),
+        }
+    }
+
+    /// Fetches the per-shard statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors as in [`Client::request`].
+    pub fn stats(&mut self) -> Result<StatsReport, WireError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            _ => Err(WireError::Corrupt("mismatched response")),
+        }
+    }
+
+    /// Requests a graceful shutdown; returns the server's lifetime item
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors as in [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<u64, WireError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Shutdown { served } => Ok(served),
+            _ => Err(WireError::Corrupt("mismatched response")),
+        }
+    }
+}

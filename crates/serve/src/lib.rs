@@ -1,0 +1,40 @@
+//! `mascot-serve`: a sharded, batched prediction service for MASCOT
+//! predictors over a binary TCP wire protocol.
+//!
+//! The crate turns any [`mascot_predictors::PredictorKind`] into a
+//! network service:
+//!
+//! * [`wire`] — the versioned `MSRV` frame format: Predict / Train /
+//!   Stats / Shutdown opcodes carrying length-prefixed micro-batches of
+//!   fixed-size items, validated arithmetically before allocation.
+//! * [`shard`] — the worker pool. Each OS thread owns one predictor
+//!   instance; requests are routed by a hash of the load PC through
+//!   bounded queues (full queue → `Busy`, never an unbounded buffer), and
+//!   workers drain several jobs per queue pop to amortise wakeups.
+//!   Predict→train metadata stays server-side in a per-shard ticket slab.
+//! * [`server`] — the TCP accept loop and scatter/gather dispatch, with
+//!   graceful drain on `Shutdown`.
+//! * [`client`] — a small synchronous client used by the load generator
+//!   and the integration tests.
+//! * [`replay`] — feeds an `.mtrc` trace through the pool as training
+//!   traffic (`mascotd --replay`).
+//! * [`metrics`] — lock-free per-shard counters and a fixed-bucket
+//!   service-time histogram behind the `Stats` opcode.
+//!
+//! Binaries: `mascotd` (the server) and `mascot-loadgen` (closed- and
+//! open-loop benchmark client; maintains `BENCH_serve.json`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod metrics;
+pub mod replay;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use client::{Client, Served};
+pub use replay::{replay_trace, ReplayReport};
+pub use server::{ServeConfig, Server};
+pub use shard::{ShardPool, ShardPoolConfig};

@@ -1,0 +1,211 @@
+//! Per-shard service metrics: lock-free counters plus a fixed-bucket
+//! latency histogram.
+//!
+//! Shard workers and connection handlers update atomics on the hot path;
+//! `Stats` requests snapshot them without stopping the world. The histogram
+//! uses power-of-two nanosecond buckets, so recording is a `leading_zeros`
+//! plus one relaxed `fetch_add` and percentile queries are exact to within
+//! a factor of two — plenty for p50/p99 service-time reporting, with no
+//! allocation and no locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::wire::ShardStats;
+
+/// Number of power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))` ns,
+/// with bucket 0 also holding 0 ns and the last bucket holding everything
+/// above ~9 minutes.
+pub const NUM_BUCKETS: usize = 40;
+
+/// A fixed-bucket, lock-free latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample, in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s counts.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Accumulates another snapshot into this one (cross-shard or
+    /// cross-thread aggregation).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// The upper bound (exclusive, in ns) of the bucket containing the
+    /// `q`-quantile sample, or 0 for an empty histogram. `q` is clamped to
+    /// `[0, 1]`; e.g. `quantile_ns(0.99)` is the approximate p99.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << NUM_BUCKETS.min(63)
+    }
+}
+
+/// Counters owned by one shard worker (plus the queue-full count, which the
+/// connection handlers increment on that shard's behalf).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Predict + train items processed.
+    pub requests: AtomicU64,
+    /// Predict items processed.
+    pub predicts: AtomicU64,
+    /// Train items applied to the predictor.
+    pub trains: AtomicU64,
+    /// Train items dropped on a stale/mismatched ticket.
+    pub stale_trains: AtomicU64,
+    /// Queue pops that did work.
+    pub batches: AtomicU64,
+    /// Items rejected with `Busy` because this shard's queue was full.
+    pub rejected_full: AtomicU64,
+    /// Per-job service time.
+    pub service: Histogram,
+}
+
+impl ShardMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots every counter into the wire representation.
+    pub fn snapshot(&self) -> ShardStats {
+        let service = self.service.snapshot();
+        ShardStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            predicts: self.predicts.load(Ordering::Relaxed),
+            trains: self.trains.load(Ordering::Relaxed),
+            stale_trains: self.stale_trains.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            service_samples: service.total(),
+            service_p50_ns: service.quantile_ns(0.50),
+            service_p99_ns: service.quantile_ns(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples (~512 ns), 9 medium (~64 µs), 1 slow (~8 ms).
+        for _ in 0..90 {
+            h.record_ns(512);
+        }
+        for _ in 0..9 {
+            h.record_ns(64_000);
+        }
+        h.record_ns(8_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.quantile_ns(0.50), 1024); // upper bound of the 512 bucket
+        assert!(s.quantile_ns(0.99) >= 65_536 && s.quantile_ns(0.99) < 8_000_000);
+        assert!(s.quantile_ns(1.0) >= 8_000_000);
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_ns(100);
+        b.record_ns(100);
+        b.record_ns(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_counters() {
+        let m = ShardMetrics::new();
+        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.predicts.fetch_add(4, Ordering::Relaxed);
+        m.trains.fetch_add(1, Ordering::Relaxed);
+        m.service.record_ns(2_000);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.predicts, 4);
+        assert_eq!(s.trains, 1);
+        assert_eq!(s.service_samples, 1);
+        assert!(s.service_p50_ns >= 2_048);
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace replay: drive a shard pool with the training traffic a simulated
+//! core would generate, straight from an `.mtrc` trace.
+//!
+//! `mascotd --replay <trace>` uses this to warm every shard's predictor
+//! before taking live traffic. The trace is walked in program order and cut
+//! into segments; each segment broadcasts its branch/store events to every
+//! shard (predictor history is global, but shards are independent — each
+//! keeps its own copy), then predicts the segment's loads and immediately
+//! trains them with the trace's ground-truth outcome.
+//!
+//! This is a deliberate approximation of the simulator's timing: a real
+//! core interleaves history events and lookups per-uop, while replay
+//! applies them with segment granularity ([`SEGMENT_UOPS`] uops). The
+//! predictors tolerate this — their history registers shift the same
+//! events in the same order, just slightly earlier relative to each
+//! lookup — and it is what lets replay batch work per shard instead of
+//! doing one synchronous round-trip per uop.
+
+use std::sync::mpsc::channel;
+
+use mascot::prediction::{LoadOutcome, ObservedDependence, StoreDistance};
+use mascot_sim::uop::{Trace, UopKind};
+
+use crate::shard::{ShardJob, ShardPool, ShardReply, SyncEvent};
+use crate::wire::{PredictItem, TrainItem, MAX_BATCH};
+
+/// Uops per replay segment (events broadcast + loads predicted/trained).
+pub const SEGMENT_UOPS: usize = 1024;
+
+/// What a replay run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Total uops walked.
+    pub uops: u64,
+    /// Loads predicted (and trained).
+    pub loads: u64,
+    /// Train items the shards applied.
+    pub applied: u64,
+    /// Train items dropped on a stale ticket (0 unless the pending window
+    /// is smaller than a segment's per-shard load count).
+    pub stale: u64,
+    /// Segments replayed.
+    pub segments: u64,
+}
+
+/// One load awaiting its segment flush.
+struct PendingLoad {
+    item: PredictItem,
+    outcome: LoadOutcome,
+}
+
+/// Converts a trace dependence into the commit-time outcome the simulator
+/// would record: dependences beyond the 127-store window are out of reach
+/// of any in-flight store and train as independent.
+fn outcome_of(dep: Option<mascot_sim::uop::TraceDep>) -> LoadOutcome {
+    match dep.and_then(|d| StoreDistance::new(d.distance).map(|dist| (d, dist))) {
+        Some((d, distance)) => LoadOutcome::dependent(ObservedDependence {
+            distance,
+            class: d.class,
+            store_pc: d.store_pc,
+            branches_between: d.branches_between,
+        }),
+        None => LoadOutcome::independent(),
+    }
+}
+
+/// Replays `trace` through `pool`, blocking until every segment has been
+/// trained.
+pub fn replay_trace(pool: &ShardPool, trace: &Trace) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    let mut events: Vec<SyncEvent> = Vec::with_capacity(SEGMENT_UOPS);
+    let mut loads: Vec<PendingLoad> = Vec::with_capacity(SEGMENT_UOPS);
+    let mut store_count: u64 = 0;
+    let mut in_segment = 0usize;
+
+    for uop in &trace.uops {
+        match uop.kind {
+            UopKind::Alu => {}
+            UopKind::Branch { kind, taken, target } => {
+                events.push(SyncEvent::Branch(mascot::history::BranchEvent {
+                    pc: uop.pc,
+                    kind,
+                    taken,
+                    target,
+                }));
+            }
+            UopKind::Store { .. } => {
+                // Same numbering as the simulator: the store's own seq is
+                // the count of stores dispatched before it.
+                events.push(SyncEvent::StoreDispatch {
+                    pc: uop.pc,
+                    store_seq: store_count,
+                });
+                store_count += 1;
+            }
+            UopKind::Load { dep, .. } => {
+                loads.push(PendingLoad {
+                    item: PredictItem {
+                        pc: uop.pc,
+                        store_seq: store_count,
+                    },
+                    outcome: outcome_of(dep),
+                });
+            }
+        }
+        report.uops += 1;
+        in_segment += 1;
+        if in_segment >= SEGMENT_UOPS {
+            flush_segment(pool, &mut events, &mut loads, &mut report);
+            in_segment = 0;
+        }
+    }
+    flush_segment(pool, &mut events, &mut loads, &mut report);
+    pool.fence();
+    report
+}
+
+/// Broadcasts the segment's events, then predicts and trains its loads.
+fn flush_segment(
+    pool: &ShardPool,
+    events: &mut Vec<SyncEvent>,
+    loads: &mut Vec<PendingLoad>,
+    report: &mut ReplayReport,
+) {
+    if events.is_empty() && loads.is_empty() {
+        return;
+    }
+    report.segments += 1;
+    pool.broadcast_sync(std::mem::take(events));
+    if loads.is_empty() {
+        return;
+    }
+
+    // Scatter the loads by shard (preserving per-shard program order).
+    let shards = pool.num_shards();
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for (i, load) in loads.iter().enumerate() {
+        by_shard[pool.shard_of(load.item.pc)].push(i);
+    }
+
+    let (tx, rx) = channel();
+    let mut outstanding = 0usize;
+    for (shard, idxs) in by_shard.iter().enumerate() {
+        for chunk in idxs.chunks(MAX_BATCH) {
+            pool.send(
+                shard,
+                ShardJob::Predict {
+                    items: chunk.iter().map(|&i| loads[i].item).collect(),
+                    tag: shard as u32,
+                    reply: tx.clone(),
+                },
+            );
+            outstanding += 1;
+        }
+    }
+
+    // Gather tickets and train each shard's loads as its predictions
+    // arrive; chunk boundaries are tracked per shard. Train replies share
+    // the channel and may interleave with later predict replies.
+    let mut next_chunk_start = vec![0usize; shards];
+    let mut train_outstanding = 0usize;
+    let mut predicts_seen = 0usize;
+    while predicts_seen < outstanding {
+        let (shard, reply) = rx.recv().expect("shard worker alive during replay");
+        let shard = shard as usize;
+        let replies = match reply {
+            ShardReply::Predict(r) => {
+                predicts_seen += 1;
+                r
+            }
+            ShardReply::Train { applied, stale } => {
+                report.applied += u64::from(applied);
+                report.stale += u64::from(stale);
+                train_outstanding -= 1;
+                continue;
+            }
+        };
+        let start = next_chunk_start[shard];
+        let idxs = &by_shard[shard][start..start + replies.len()];
+        next_chunk_start[shard] = start + replies.len();
+        let items: Vec<TrainItem> = idxs
+            .iter()
+            .zip(&replies)
+            .map(|(&i, r)| TrainItem {
+                ticket: r.ticket,
+                pc: loads[i].item.pc,
+                outcome: loads[i].outcome,
+            })
+            .collect();
+        report.loads += items.len() as u64;
+        pool.send(
+            shard,
+            ShardJob::Train {
+                items,
+                tag: shard as u32,
+                reply: tx.clone(),
+            },
+        );
+        train_outstanding += 1;
+    }
+    drop(tx);
+    for _ in 0..train_outstanding {
+        if let Ok((_, ShardReply::Train { applied, stale })) = rx.recv() {
+            report.applied += u64::from(applied);
+            report.stale += u64::from(stale);
+        }
+    }
+    loads.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardPoolConfig;
+    use mascot_predictors::PredictorKind;
+    use mascot_workloads::spec;
+
+    #[test]
+    fn replay_trains_every_load() {
+        let profile = spec::profile("perlbench2").expect("known benchmark");
+        let trace = mascot_workloads::generator::generate(&profile, 42, 5_000);
+        let loads = trace
+            .uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Load { .. }))
+            .count() as u64;
+        let pool = ShardPool::new(
+            PredictorKind::Mascot,
+            &ShardPoolConfig {
+                shards: 3,
+                ..Default::default()
+            },
+        );
+        let report = replay_trace(&pool, &trace);
+        assert_eq!(report.uops, trace.uops.len() as u64);
+        assert_eq!(report.loads, loads);
+        assert_eq!(report.applied, loads, "every ticket trains exactly once");
+        assert_eq!(report.stale, 0);
+        assert!(report.segments >= 1);
+        let stats = pool.shutdown();
+        assert_eq!(stats.total_predicts(), loads);
+        assert_eq!(stats.total_trains(), loads);
+    }
+
+    #[test]
+    fn out_of_window_dependences_train_independent() {
+        use mascot::prediction::BypassClass;
+        let far = mascot_sim::uop::TraceDep {
+            distance: 500, // beyond StoreDistance::MAX
+            class: BypassClass::DirectBypass,
+            store_pc: 0x10,
+            branches_between: 0,
+        };
+        assert_eq!(outcome_of(Some(far)), LoadOutcome::independent());
+        let near = mascot_sim::uop::TraceDep {
+            distance: 3,
+            class: BypassClass::DirectBypass,
+            store_pc: 0x10,
+            branches_between: 0,
+        };
+        assert!(outcome_of(Some(near)).is_dependent());
+        assert_eq!(outcome_of(None), LoadOutcome::independent());
+    }
+}

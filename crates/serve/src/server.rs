@@ -1,0 +1,321 @@
+//! `mascotd`'s server core: TCP accept loop, per-connection framing, and
+//! request dispatch onto the shard pool.
+//!
+//! One handler thread per connection reads frames with a short poll
+//! timeout so it can notice a shutdown while idle without ever abandoning
+//! a frame mid-read. Dispatch scatters a batch over the owning shards and
+//! gathers the sub-replies back into request order.
+//!
+//! Backpressure is all-or-nothing per request: if *any* owning shard's
+//! queue is full the client gets `Busy` immediately — the handler does not
+//! wait for sub-batches that were already enqueued (their replies go to a
+//! dropped channel, and any work they did simply ages out of the pending
+//! table). The client treats `Busy` as "retry the whole batch", so
+//! double-processed predictions only cost pending-table slots, never
+//! correctness.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mascot_predictors::PredictorKind;
+
+use crate::metrics::ShardMetrics;
+use crate::shard::{shard_of, ShardJob, ShardPool, ShardPoolConfig, ShardReply};
+use crate::wire::{
+    self, PredictItem, PredictReply, Request, Response, StatsReport, TrainItem, MAX_BATCH,
+};
+
+/// How often an idle connection handler wakes to check for shutdown.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Predictor built on every shard.
+    pub kind: PredictorKind,
+    /// Shard pool sizing.
+    pub pool: ShardPoolConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            kind: PredictorKind::Mascot,
+            pool: ShardPoolConfig::default(),
+        }
+    }
+}
+
+/// State shared between the accept loop and the connection handlers.
+struct Shared {
+    senders: Vec<SyncSender<ShardJob>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn total_requests(&self) -> u64 {
+        self.metrics
+            .iter()
+            .map(|m| m.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    pool: ShardPool,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shards", &self.senders.len())
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the shard pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = ShardPool::new(cfg.kind, &cfg.pool);
+        let shared = Arc::new(Shared {
+            senders: pool.senders().to_vec(),
+            metrics: pool.metrics().iter().map(Arc::clone).collect(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(Server {
+            listener,
+            pool,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Direct access to the shard pool (replay warm-up runs before `run`).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// Serves until a `Shutdown` request, then drains every shard and
+    /// returns the final statistics.
+    pub fn run(self) -> StatsReport {
+        let Server {
+            listener,
+            pool,
+            shared,
+        } = self;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break; // the stream (often the self-connect nudge) is dropped
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&shared);
+            conns.push(
+                std::thread::Builder::new()
+                    .name("mascot-conn".to_string())
+                    .spawn(move || handle_conn(stream, &shared))
+                    .expect("spawn connection handler"),
+            );
+            conns.retain(|h| !h.is_finished());
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        // All connection handlers are gone. `shared` holds the last sender
+        // clones outside the pool — it must go first, or the workers never
+        // observe disconnect and `shutdown` joins forever.
+        drop(shared);
+        // Dropping the pool's own senders lets each worker drain its
+        // remaining queue and exit.
+        pool.shutdown()
+    }
+
+    /// Runs the server on a background thread; returns the bound address
+    /// and the handle yielding the final statistics.
+    pub fn spawn(self) -> (SocketAddr, JoinHandle<StatsReport>) {
+        let addr = self.local_addr();
+        let handle = std::thread::Builder::new()
+            .name("mascotd-accept".to_string())
+            .spawn(move || self.run())
+            .expect("spawn server");
+        (addr, handle)
+    }
+}
+
+/// One connection: read frames until close, error, or shutdown.
+fn handle_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut rd = match stream.try_clone() {
+        Ok(rd) => rd,
+        Err(_) => return,
+    };
+    let abort = || shared.shutdown.load(Ordering::Acquire);
+    loop {
+        let (code, payload) = match wire::read_frame_abortable(&mut rd, &abort) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close or idle shutdown
+            Err(e) => {
+                // Framing is unrecoverable mid-stream: report and drop.
+                let resp = Response::Error(e.to_string());
+                let _ = stream.write_all(&resp.encode_frame());
+                return;
+            }
+        };
+        let response = match Request::decode(code, &payload) {
+            Ok(req) => dispatch(req, shared),
+            // A well-framed but malformed payload: the stream is still in
+            // sync, so answer and keep serving.
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let shutting_down = matches!(response, Response::Shutdown { .. });
+        if stream.write_all(&response.encode_frame()).is_err() {
+            return;
+        }
+        if shutting_down {
+            // Unblock the accept loop (it re-checks the flag per accept).
+            let _ = TcpStream::connect(shared.addr);
+            return;
+        }
+    }
+}
+
+fn dispatch(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::Predict(items) => dispatch_predict(items, shared),
+        Request::Train(items) => dispatch_train(items, shared),
+        Request::Stats => Response::Stats(StatsReport {
+            shards: shared.metrics.iter().map(|m| m.snapshot()).collect(),
+        }),
+        Request::Shutdown => {
+            let served = shared.total_requests();
+            shared.shutdown.store(true, Ordering::Release);
+            Response::Shutdown { served }
+        }
+    }
+}
+
+/// Splits a batch's indices by owning shard.
+fn partition<T>(items: &[T], pc_of: impl Fn(&T) -> u64, shards: usize) -> Vec<Vec<usize>> {
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for (i, item) in items.iter().enumerate() {
+        by_shard[shard_of(pc_of(item), shards)].push(i);
+    }
+    by_shard
+}
+
+fn dispatch_predict(items: Vec<PredictItem>, shared: &Shared) -> Response {
+    if items.len() > MAX_BATCH {
+        return Response::Error("batch exceeds MAX_BATCH".to_string());
+    }
+    let shards = shared.senders.len();
+    let by_shard = partition(&items, |it| it.pc, shards);
+    let (tx, rx) = channel();
+    let mut outstanding = 0u32;
+    for (shard, idxs) in by_shard.iter().enumerate() {
+        if idxs.is_empty() {
+            continue;
+        }
+        let sub: Vec<_> = idxs.iter().map(|&i| items[i]).collect();
+        let job = ShardJob::Predict {
+            items: sub,
+            tag: shard as u32,
+            reply: tx.clone(),
+        };
+        if shared.senders[shard].try_send(job).is_err() {
+            shared.metrics[shard]
+                .rejected_full
+                .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+            // Abandon the scatter: `rx` drops here, so replies from
+            // sub-batches already enqueued land in a closed channel.
+            return Response::Busy;
+        }
+        outstanding += 1;
+    }
+    drop(tx);
+    let mut out: Vec<Option<PredictReply>> = vec![None; items.len()];
+    for _ in 0..outstanding {
+        let Ok((shard, reply)) = rx.recv() else {
+            return Response::Error("shard worker exited".to_string());
+        };
+        let ShardReply::Predict(replies) = reply else {
+            return Response::Error("mismatched shard reply".to_string());
+        };
+        for (&i, r) in by_shard[shard as usize].iter().zip(replies) {
+            out[i] = Some(r);
+        }
+    }
+    match out.into_iter().collect::<Option<Vec<_>>>() {
+        Some(replies) => Response::Predict(replies),
+        None => Response::Error("incomplete scatter-gather".to_string()),
+    }
+}
+
+fn dispatch_train(items: Vec<TrainItem>, shared: &Shared) -> Response {
+    if items.len() > MAX_BATCH {
+        return Response::Error("batch exceeds MAX_BATCH".to_string());
+    }
+    let shards = shared.senders.len();
+    let by_shard = partition(&items, |it| it.pc, shards);
+    let (tx, rx) = channel();
+    let mut outstanding = 0u32;
+    for (shard, idxs) in by_shard.iter().enumerate() {
+        if idxs.is_empty() {
+            continue;
+        }
+        let sub: Vec<_> = idxs.iter().map(|&i| items[i]).collect();
+        let job = ShardJob::Train {
+            items: sub,
+            tag: shard as u32,
+            reply: tx.clone(),
+        };
+        if shared.senders[shard].try_send(job).is_err() {
+            shared.metrics[shard]
+                .rejected_full
+                .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+            return Response::Busy;
+        }
+        outstanding += 1;
+    }
+    drop(tx);
+    let (mut applied, mut stale) = (0u32, 0u32);
+    for _ in 0..outstanding {
+        let Ok((_, reply)) = rx.recv() else {
+            return Response::Error("shard worker exited".to_string());
+        };
+        let ShardReply::Train { applied: a, stale: s } = reply else {
+            return Response::Error("mismatched shard reply".to_string());
+        };
+        applied += a;
+        stale += s;
+    }
+    Response::Train { applied, stale }
+}

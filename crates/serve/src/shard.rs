@@ -1,0 +1,584 @@
+//! The sharded worker pool: one OS thread per shard, each owning a private
+//! predictor instance.
+//!
+//! Requests are routed by a hash of the load PC, so every dynamic instance
+//! of a load trains and queries the *same* predictor — the property the
+//! PC-indexed tables rely on — while shards share nothing and never lock.
+//! Each shard is fed through a **bounded** `sync_channel`; when a queue is
+//! full the caller gets the job back and answers `Busy` (explicit
+//! backpressure, never an unbounded buffer). A worker amortises queue
+//! synchronisation by draining up to `max_batch` jobs per blocking `recv`.
+//!
+//! Because [`mascot::MemDepPredictor`] threads opaque metadata from
+//! `predict` to `train`, each shard keeps a fixed-size *pending table*: a
+//! predict call parks `(pc, prediction, meta)` in a slot and returns the
+//! slot's ticket; the train call quotes the ticket to retrieve them. A
+//! ticket whose slot has been reused (the prediction outlived the window)
+//! counts as a stale train and is dropped — predictor state is never
+//! trained with someone else's metadata.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mascot::history::BranchEvent;
+use mascot::prediction::MemDepPredictor;
+use mascot_predictors::{AnyMeta, AnyPredictor, PredictorKind};
+
+use crate::metrics::ShardMetrics;
+use crate::wire::{PredictItem, PredictReply, StatsReport, TrainItem};
+
+/// Default shard count.
+pub const DEFAULT_SHARDS: usize = 4;
+/// Default bounded queue depth per shard (jobs, not items).
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+/// Default maximum jobs drained per blocking queue pop.
+pub const DEFAULT_MAX_BATCH: usize = 32;
+/// Default pending-prediction slots per shard (power of two).
+pub const DEFAULT_PENDING_CAPACITY: usize = 1 << 15;
+
+/// Sizing knobs for a [`ShardPool`].
+#[derive(Debug, Clone)]
+pub struct ShardPoolConfig {
+    /// Number of worker threads / predictor instances.
+    pub shards: usize,
+    /// Bounded queue depth per shard.
+    pub queue_depth: usize,
+    /// Maximum jobs drained per blocking queue pop.
+    pub max_batch: usize,
+    /// Pending-prediction slots per shard (rounded up to a power of two).
+    pub pending_capacity: usize,
+}
+
+impl Default for ShardPoolConfig {
+    fn default() -> Self {
+        Self {
+            shards: DEFAULT_SHARDS,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            max_batch: DEFAULT_MAX_BATCH,
+            pending_capacity: DEFAULT_PENDING_CAPACITY,
+        }
+    }
+}
+
+/// A predictor-state event broadcast to every shard (replay traffic).
+#[derive(Debug, Clone, Copy)]
+pub enum SyncEvent {
+    /// A committed-path branch.
+    Branch(BranchEvent),
+    /// A store dispatch.
+    StoreDispatch {
+        /// PC of the store.
+        pc: u64,
+        /// Sequence number of the store.
+        store_seq: u64,
+    },
+}
+
+/// A unit of work on a shard queue.
+pub enum ShardJob {
+    /// Predict a sub-batch; the reply carries `tag` for reassembly.
+    Predict {
+        /// The items, all owned by this shard.
+        items: Vec<PredictItem>,
+        /// Caller-chosen tag echoed in the reply.
+        tag: u32,
+        /// Where to deliver the reply.
+        reply: Sender<(u32, ShardReply)>,
+    },
+    /// Train from a sub-batch of outcomes.
+    Train {
+        /// The items, all owned by this shard.
+        items: Vec<TrainItem>,
+        /// Caller-chosen tag echoed in the reply.
+        tag: u32,
+        /// Where to deliver the reply.
+        reply: Sender<(u32, ShardReply)>,
+    },
+    /// Apply predictor-state events (no reply).
+    Sync(Vec<SyncEvent>),
+    /// Park the worker on a barrier (used by tests and by callers that need
+    /// a completion fence: the worker has necessarily finished everything
+    /// queued before this job when the barrier releases).
+    Wait(Arc<Barrier>),
+}
+
+impl std::fmt::Debug for ShardJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardJob::Predict { items, tag, .. } => f
+                .debug_struct("Predict")
+                .field("items", &items.len())
+                .field("tag", tag)
+                .finish(),
+            ShardJob::Train { items, tag, .. } => f
+                .debug_struct("Train")
+                .field("items", &items.len())
+                .field("tag", tag)
+                .finish(),
+            ShardJob::Sync(events) => f.debug_tuple("Sync").field(&events.len()).finish(),
+            ShardJob::Wait(_) => f.write_str("Wait"),
+        }
+    }
+}
+
+/// A shard's answer to a [`ShardJob::Predict`] or [`ShardJob::Train`].
+#[derive(Debug)]
+pub enum ShardReply {
+    /// Predictions, in sub-batch order.
+    Predict(Vec<PredictReply>),
+    /// Training summary for the sub-batch.
+    Train {
+        /// Items whose ticket matched.
+        applied: u32,
+        /// Items dropped on a stale ticket.
+        stale: u32,
+    },
+}
+
+/// Routes a PC to a shard: multiply-shift mixing (fibonacci hashing) so
+/// that the low bits of the shard index depend on every bit of the PC —
+/// stride-patterned PCs must not all land on one shard.
+#[inline]
+pub fn shard_of(pc: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mixed = pc.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    ((mixed >> 32) as usize) % shards
+}
+
+/// A parked prediction awaiting its training outcome.
+struct Pending {
+    ticket: u32,
+    pc: u64,
+    prediction: mascot::prediction::MemDepPrediction,
+    meta: AnyMeta,
+}
+
+/// Fixed-capacity, ticket-indexed open slab. Tickets increase monotonically
+/// per shard; slot = ticket % capacity, so a slot naturally evicts the
+/// prediction `capacity` tickets older — matching the intuition that
+/// training interest decays with age.
+struct PendingTable {
+    slots: Vec<Option<Pending>>,
+    mask: u32,
+    next_ticket: u32,
+}
+
+impl PendingTable {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        Self {
+            slots: (0..capacity).map(|_| None).collect(),
+            mask: capacity as u32 - 1,
+            next_ticket: 0,
+        }
+    }
+
+    fn insert(
+        &mut self,
+        pc: u64,
+        prediction: mascot::prediction::MemDepPrediction,
+        meta: AnyMeta,
+    ) -> u32 {
+        let ticket = self.next_ticket;
+        self.next_ticket = self.next_ticket.wrapping_add(1);
+        self.slots[(ticket & self.mask) as usize] = Some(Pending {
+            ticket,
+            pc,
+            prediction,
+            meta,
+        });
+        ticket
+    }
+
+    fn take(&mut self, ticket: u32, pc: u64) -> Option<Pending> {
+        let slot = &mut self.slots[(ticket & self.mask) as usize];
+        match slot {
+            Some(p) if p.ticket == ticket && p.pc == pc => slot.take(),
+            _ => None,
+        }
+    }
+}
+
+/// The pool: shard senders, metrics, and worker join handles.
+#[derive(Debug)]
+pub struct ShardPool {
+    senders: Vec<SyncSender<ShardJob>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `cfg.shards` workers, each owning a freshly built `kind`
+    /// predictor.
+    pub fn new(kind: PredictorKind, cfg: &ShardPoolConfig) -> Self {
+        assert!(cfg.shards > 0, "at least one shard");
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut metrics = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = sync_channel(cfg.queue_depth);
+            let m = Arc::new(ShardMetrics::new());
+            let predictor = kind.build();
+            let worker_metrics = Arc::clone(&m);
+            let max_batch = cfg.max_batch.max(1);
+            let pending_capacity = cfg.pending_capacity;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mascot-shard-{shard}"))
+                    .spawn(move || worker(rx, predictor, worker_metrics, max_batch, pending_capacity))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+            metrics.push(m);
+        }
+        Self {
+            senders,
+            metrics,
+            handles,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard owning `pc`.
+    pub fn shard_of(&self, pc: u64) -> usize {
+        shard_of(pc, self.senders.len())
+    }
+
+    /// Clones of the per-shard senders (for connection handlers).
+    pub fn senders(&self) -> &[SyncSender<ShardJob>] {
+        &self.senders
+    }
+
+    /// The per-shard metrics blocks.
+    pub fn metrics(&self) -> &[Arc<ShardMetrics>] {
+        &self.metrics
+    }
+
+    /// Non-blocking enqueue; hands the job back when the queue is full or
+    /// the shard worker is gone.
+    pub fn try_send(&self, shard: usize, job: ShardJob) -> Result<(), ShardJob> {
+        self.senders[shard].try_send(job).map_err(|e| match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+        })
+    }
+
+    /// Blocking enqueue (replay traffic, which wants throughput rather than
+    /// a `Busy` signal).
+    pub fn send(&self, shard: usize, job: ShardJob) {
+        let _ = self.senders[shard].send(job);
+    }
+
+    /// Broadcasts predictor-state events to every shard (blocking).
+    pub fn broadcast_sync(&self, events: Vec<SyncEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        for tx in &self.senders {
+            let _ = tx.send(ShardJob::Sync(events.clone()));
+        }
+    }
+
+    /// Blocks until every shard has drained everything queued before this
+    /// call (a barrier job per shard).
+    pub fn fence(&self) {
+        let barrier = Arc::new(Barrier::new(self.senders.len() + 1));
+        for tx in &self.senders {
+            let _ = tx.send(ShardJob::Wait(Arc::clone(&barrier)));
+        }
+        barrier.wait();
+    }
+
+    /// Snapshots every shard's counters.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            shards: self.metrics.iter().map(|m| m.snapshot()).collect(),
+        }
+    }
+
+    /// Drops the senders and joins the workers; each worker drains every
+    /// job already queued before exiting (`sync_channel` delivers buffered
+    /// messages before reporting disconnect). Returns the final snapshot.
+    pub fn shutdown(self) -> StatsReport {
+        let Self {
+            senders,
+            metrics,
+            handles,
+        } = self;
+        drop(senders);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        StatsReport {
+            shards: metrics.iter().map(|m| m.snapshot()).collect(),
+        }
+    }
+}
+
+/// The shard worker loop: block for one job, then drain up to `max_batch`
+/// more without blocking, processing each in arrival order.
+fn worker(
+    rx: Receiver<ShardJob>,
+    mut predictor: AnyPredictor,
+    metrics: Arc<ShardMetrics>,
+    max_batch: usize,
+    pending_capacity: usize,
+) {
+    let mut pending = PendingTable::new(pending_capacity);
+    while let Ok(first) = rx.recv() {
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        process(first, &mut predictor, &mut pending, &metrics);
+        for _ in 1..max_batch {
+            match rx.try_recv() {
+                Ok(job) => process(job, &mut predictor, &mut pending, &metrics),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+fn process(
+    job: ShardJob,
+    predictor: &mut AnyPredictor,
+    pending: &mut PendingTable,
+    metrics: &ShardMetrics,
+) {
+    let t0 = Instant::now();
+    match job {
+        ShardJob::Predict { items, tag, reply } => {
+            let n = items.len() as u64;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let (prediction, meta) = predictor.predict(item.pc, item.store_seq, None);
+                let ticket = pending.insert(item.pc, prediction, meta);
+                out.push(PredictReply { ticket, prediction });
+            }
+            metrics.predicts.fetch_add(n, Ordering::Relaxed);
+            metrics.requests.fetch_add(n, Ordering::Relaxed);
+            // The receiver may be gone (client disconnected mid-flight);
+            // the work is already done either way.
+            let _ = reply.send((tag, ShardReply::Predict(out)));
+        }
+        ShardJob::Train { items, tag, reply } => {
+            let n = items.len() as u64;
+            let (mut applied, mut stale) = (0u32, 0u32);
+            for item in items {
+                match pending.take(item.ticket, item.pc) {
+                    Some(p) => {
+                        predictor.train(item.pc, p.meta, p.prediction, &item.outcome);
+                        applied += 1;
+                    }
+                    None => stale += 1,
+                }
+            }
+            metrics.trains.fetch_add(u64::from(applied), Ordering::Relaxed);
+            metrics
+                .stale_trains
+                .fetch_add(u64::from(stale), Ordering::Relaxed);
+            metrics.requests.fetch_add(n, Ordering::Relaxed);
+            let _ = reply.send((tag, ShardReply::Train { applied, stale }));
+        }
+        ShardJob::Sync(events) => {
+            for event in events {
+                match event {
+                    SyncEvent::Branch(e) => predictor.on_branch(&e),
+                    SyncEvent::StoreDispatch { pc, store_seq } => {
+                        predictor.on_store_dispatch(pc, store_seq);
+                    }
+                }
+            }
+        }
+        ShardJob::Wait(barrier) => {
+            barrier.wait();
+            return; // not service work; keep it out of the histogram
+        }
+    }
+    metrics
+        .service
+        .record_ns(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn predict_job(
+        pcs: &[u64],
+        tag: u32,
+        reply: &Sender<(u32, ShardReply)>,
+    ) -> ShardJob {
+        ShardJob::Predict {
+            items: pcs
+                .iter()
+                .map(|&pc| PredictItem { pc, store_seq: 0 })
+                .collect(),
+            tag,
+            reply: reply.clone(),
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let mut seen = [false; 8];
+        // Stride-4 PCs (typical code addresses) must hit several shards.
+        for i in 0..512u64 {
+            let s = shard_of(0x40_0000 + i * 4, 8);
+            assert_eq!(s, shard_of(0x40_0000 + i * 4, 8));
+            seen[s] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() >= 6);
+    }
+
+    #[test]
+    fn predict_then_train_applies_metadata() {
+        let pool = ShardPool::new(PredictorKind::Mascot, &ShardPoolConfig::default());
+        let (tx, rx) = channel();
+        let pc = 0x1234u64;
+        let shard = pool.shard_of(pc);
+        pool.send(shard, predict_job(&[pc, pc, pc], 7, &tx));
+        let (tag, reply) = rx.recv().unwrap();
+        assert_eq!(tag, 7);
+        let replies = match reply {
+            ShardReply::Predict(r) => r,
+            other => panic!("expected predict reply, got {other:?}"),
+        };
+        assert_eq!(replies.len(), 3);
+        // Train each ticket once; all must apply.
+        let items: Vec<TrainItem> = replies
+            .iter()
+            .map(|r| TrainItem {
+                ticket: r.ticket,
+                pc,
+                outcome: mascot::prediction::LoadOutcome::independent(),
+            })
+            .collect();
+        pool.send(shard, ShardJob::Train { items: items.clone(), tag: 8, reply: tx.clone() });
+        match rx.recv().unwrap() {
+            (8, ShardReply::Train { applied, stale }) => {
+                assert_eq!((applied, stale), (3, 0));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Replaying the same tickets is stale, not a retrain.
+        pool.send(shard, ShardJob::Train { items, tag: 9, reply: tx.clone() });
+        match rx.recv().unwrap() {
+            (9, ShardReply::Train { applied, stale }) => {
+                assert_eq!((applied, stale), (0, 3));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.total_predicts(), 3);
+        assert_eq!(report.total_trains(), 3);
+        assert_eq!(report.shards[shard].stale_trains, 3);
+        assert_eq!(report.total_requests(), 9);
+    }
+
+    #[test]
+    fn wrong_pc_on_ticket_is_stale() {
+        let pool = ShardPool::new(PredictorKind::StoreSets, &ShardPoolConfig::default());
+        let (tx, rx) = channel();
+        let pc = 0x40u64;
+        let shard = pool.shard_of(pc);
+        pool.send(shard, predict_job(&[pc], 0, &tx));
+        let ticket = match rx.recv().unwrap().1 {
+            ShardReply::Predict(r) => r[0].ticket,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        pool.send(
+            shard,
+            ShardJob::Train {
+                items: vec![TrainItem {
+                    ticket,
+                    pc: pc + 8, // lies about the pc
+                    outcome: mascot::prediction::LoadOutcome::independent(),
+                }],
+                tag: 1,
+                reply: tx,
+            },
+        );
+        match rx.recv().unwrap().1 {
+            ShardReply::Train { applied, stale } => assert_eq!((applied, stale), (0, 1)),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_worker_is_parked() {
+        let cfg = ShardPoolConfig {
+            shards: 1,
+            queue_depth: 1,
+            max_batch: 1,
+            ..Default::default()
+        };
+        let pool = ShardPool::new(PredictorKind::PerfectMdp, &cfg);
+        let barrier = Arc::new(Barrier::new(2));
+        // Park the worker. Retry until the worker has dequeued the job
+        // (depth-1 queue: acceptance of the *next* job proves it).
+        let mut job = ShardJob::Wait(Arc::clone(&barrier));
+        while let Err(back) = pool.try_send(0, job) {
+            job = back;
+        }
+        let (tx, _rx) = channel();
+        let mut filler = predict_job(&[1], 0, &tx);
+        loop {
+            match pool.try_send(0, filler) {
+                Ok(()) => break,
+                Err(back) => filler = back,
+            }
+        }
+        // Queue now holds one job and the worker is parked: full.
+        assert!(pool.try_send(0, predict_job(&[2], 1, &tx)).is_err());
+        barrier.wait(); // release the worker
+        pool.fence();
+        let report = pool.stats_report();
+        assert_eq!(report.total_predicts(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pending_table_evicts_after_capacity_wraps() {
+        let mut table = PendingTable::new(2);
+        let p = mascot::prediction::MemDepPrediction::NoDependence;
+        let t0 = table.insert(0x10, p, AnyMeta::Unit);
+        let _t1 = table.insert(0x14, p, AnyMeta::Unit);
+        let _t2 = table.insert(0x18, p, AnyMeta::Unit); // evicts t0's slot
+        assert!(table.take(t0, 0x10).is_none(), "evicted ticket is stale");
+        assert!(table.take(_t2, 0x18).is_some());
+        assert!(table.take(_t1, 0x14).is_some());
+        assert!(table.take(_t1, 0x14).is_none(), "tickets are single-use");
+    }
+
+    #[test]
+    fn sync_events_reach_every_shard() {
+        use mascot::history::{BranchEvent, BranchKind};
+        let cfg = ShardPoolConfig {
+            shards: 3,
+            ..Default::default()
+        };
+        let pool = ShardPool::new(PredictorKind::Mascot, &cfg);
+        pool.broadcast_sync(vec![
+            SyncEvent::Branch(BranchEvent {
+                pc: 0x100,
+                kind: BranchKind::Conditional,
+                taken: true,
+                target: 0x200,
+            }),
+            SyncEvent::StoreDispatch {
+                pc: 0x300,
+                store_seq: 1,
+            },
+        ]);
+        pool.fence();
+        pool.shutdown();
+    }
+}

@@ -61,7 +61,6 @@ impl TaggedEntry for TageEntry {
 /// A TAGE branch-direction predictor with an indirect-target side table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TagePredictor {
-    cfg: BranchPredictorConfig,
     bimodal: Vec<SaturatingCounter>,
     tables: Vec<AssocTable<TageEntry>>,
     hashers: Vec<TableHasher>,
@@ -121,7 +120,6 @@ impl TagePredictor {
             btb: vec![None; cfg.btb_entries],
             alloc_rotor: 0,
             stats: BranchStats::default(),
-            cfg,
         }
     }
 

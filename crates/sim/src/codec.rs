@@ -192,8 +192,13 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, CodecError> {
         .map_err(|_| CodecError::Corrupt("name is not UTF-8"))?
         .to_string();
     let count = r.u64()?;
-    // Cheap sanity bound before allocating.
-    if count > (bytes.len() as u64) {
+    // Every uop occupies at least 13 bytes (pc + regs + latency + kind tag);
+    // bound the claimed count by the bytes actually remaining *before*
+    // allocating, so an attacker-controlled header can never drive
+    // `Vec::with_capacity` beyond the input's own size.
+    const MIN_UOP_BYTES: u64 = 13;
+    let remaining = (bytes.len() - r.pos) as u64;
+    if count.checked_mul(MIN_UOP_BYTES).is_none_or(|need| need > remaining) {
         return Err(CodecError::Corrupt("count exceeds payload"));
     }
     let mut uops = Vec::with_capacity(count as usize);

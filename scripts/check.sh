@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the simulator throughput trajectory.
+# Tier-1 gate plus the performance trajectories.
 #
-#   scripts/check.sh            # offline build + tests + throughput check
+#   scripts/check.sh            # offline build + tests + perf checks
 #   CARGO_FLAGS= scripts/check.sh   # allow network (e.g. first-time fetch)
 #
-# Fails if the build or any test fails, or if aggregate simulator
-# throughput regresses more than 10% against the committed
-# BENCH_sim_throughput.json baseline (regenerate the baseline with
-# `cargo run --release -p mascot-bench --bin throughput` on intentional
-# perf changes, and commit the new file alongside them).
+# Fails if the build (warnings are errors) or any test fails, if aggregate
+# simulator throughput regresses more than 10% against the committed
+# BENCH_sim_throughput.json baseline, or if the mascot-serve loopback
+# smoke (real mascotd process + mascot-loadgen over TCP) loses requests,
+# achieves zero QPS, or fails to drain on shutdown. Regenerate the
+# baselines with `cargo run --release -p mascot-bench --bin throughput`
+# and `cargo run --release -p mascot-serve --bin mascot-loadgen` on
+# intentional perf changes, and commit the new files alongside them.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS---offline}
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-echo "== tier-1: release build =="
+echo "== tier-1: release build (warnings are errors) =="
 cargo build --release ${CARGO_FLAGS}
 
 echo "== tier-1: tests =="
@@ -23,3 +27,21 @@ cargo test -q ${CARGO_FLAGS}
 
 echo "== throughput check =="
 cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check
+
+echo "== serve smoke (mascotd + loadgen over loopback) =="
+PORT_FILE=$(mktemp)
+rm -f "${PORT_FILE}"  # mascotd recreates it once the listener is ready
+./target/release/mascotd --addr 127.0.0.1:0 --shards 4 --port-file "${PORT_FILE}" &
+MASCOTD_PID=$!
+trap 'kill ${MASCOTD_PID} 2>/dev/null || true; rm -f "${PORT_FILE}"' EXIT
+for _ in $(seq 1 100); do
+    [ -s "${PORT_FILE}" ] && break
+    sleep 0.05
+done
+[ -s "${PORT_FILE}" ] || { echo "mascotd never became ready"; exit 1; }
+./target/release/mascot-loadgen --addr "$(cat "${PORT_FILE}")" --smoke
+# The smoke's Shutdown request must let the server drain and exit cleanly.
+wait "${MASCOTD_PID}"
+trap - EXIT
+rm -f "${PORT_FILE}"
+echo "serve smoke ok (server drained and exited)"

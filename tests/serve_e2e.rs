@@ -1,0 +1,209 @@
+//! End-to-end loopback tests for `mascot-serve`: a real `mascotd` server on
+//! an ephemeral port, real TCP clients, mixed predict/train traffic from
+//! multiple threads, and protocol-level rejection of malformed frames.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mascot_predictors::PredictorKind;
+use mascot_serve::shard::ShardPoolConfig;
+use mascot_serve::wire::{self, Opcode, PredictItem, Response, TrainItem, HEADER_LEN, MAGIC};
+use mascot_serve::{Client, ServeConfig, Served, Server};
+use mascot::prediction::LoadOutcome;
+
+fn spawn_server(shards: usize) -> (String, std::thread::JoinHandle<wire::StatsReport>) {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        kind: PredictorKind::Mascot,
+        pool: ShardPoolConfig {
+            shards,
+            ..ShardPoolConfig::default()
+        },
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let (addr, handle) = server.spawn();
+    (addr.to_string(), handle)
+}
+
+/// Thousands of mixed predict/train requests from several client threads;
+/// every ticket is trained back, and the server-side counters must account
+/// for every item exactly.
+#[test]
+fn loopback_mixed_traffic_accounts_for_every_item() {
+    const THREADS: usize = 4;
+    const BATCHES: usize = 50;
+    const BATCH: usize = 32;
+
+    let (addr, handle) = spawn_server(4);
+    let sent_predicts = Arc::new(AtomicU64::new(0));
+    let sent_trains = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            let sent_predicts = Arc::clone(&sent_predicts);
+            let sent_trains = Arc::clone(&sent_trains);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for b in 0..BATCHES {
+                    let items: Vec<PredictItem> = (0..BATCH)
+                        .map(|i| PredictItem {
+                            pc: 0x1000 + ((t * BATCHES * BATCH + b * BATCH + i) as u64 % 509) * 4,
+                            store_seq: (b * BATCH + i) as u64,
+                        })
+                        .collect();
+                    // One closed-loop frame per connection can never fill a
+                    // 256-deep shard queue, so Busy here is a bug.
+                    let replies = match client.predict(items.clone()).expect("predict") {
+                        Served::Ok(replies) => replies,
+                        Served::Busy => panic!("unexpected Busy under closed-loop load"),
+                    };
+                    assert_eq!(replies.len(), items.len());
+                    sent_predicts.fetch_add(items.len() as u64, Ordering::Relaxed);
+
+                    let trains: Vec<TrainItem> = items
+                        .iter()
+                        .zip(&replies)
+                        .map(|(item, r)| TrainItem {
+                            ticket: r.ticket,
+                            pc: item.pc,
+                            outcome: LoadOutcome::independent(),
+                        })
+                        .collect();
+                    match client.train(trains).expect("train") {
+                        Served::Ok((applied, stale)) => {
+                            assert_eq!(applied as usize, BATCH, "every ticket fresh");
+                            assert_eq!(stale, 0);
+                        }
+                        Served::Busy => panic!("unexpected Busy under closed-loop load"),
+                    }
+                    sent_trains.fetch_add(BATCH as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let predicts = sent_predicts.load(Ordering::Relaxed);
+    let trains = sent_trains.load(Ordering::Relaxed);
+    assert_eq!(predicts, (THREADS * BATCHES * BATCH) as u64);
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(stats.total_predicts(), predicts);
+    assert_eq!(stats.total_trains(), trains);
+    assert_eq!(stats.total_requests(), predicts + trains);
+    assert_eq!(stats.total_rejected(), 0);
+    // Every train found its pending ticket.
+    assert_eq!(stats.shards.iter().map(|s| s.stale_trains).sum::<u64>(), 0);
+    // Work spread over all shards, not funnelled into one.
+    for s in &stats.shards {
+        assert!(s.requests > 0, "an idle shard means broken routing");
+    }
+
+    let served = control.shutdown().expect("shutdown");
+    assert_eq!(served, predicts + trains);
+
+    // The drained report must agree with the last live snapshot: shutdown
+    // may not lose in-flight work.
+    let drained = handle.join().expect("server thread");
+    assert_eq!(drained.total_requests(), stats.total_requests());
+    assert_eq!(drained.total_predicts(), stats.total_predicts());
+    assert_eq!(drained.total_trains(), stats.total_trains());
+}
+
+/// A frame with the wrong magic gets an `Error` response and the
+/// connection is dropped; the server keeps serving other clients.
+#[test]
+fn bad_magic_is_rejected_without_killing_the_server() {
+    let (addr, handle) = spawn_server(2);
+
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    let mut frame = vec![0u8; HEADER_LEN];
+    frame[..4].copy_from_slice(b"XSRV");
+    raw.write_all(&frame).expect("write bad magic");
+    let (code, payload) = wire::read_frame(&mut raw)
+        .expect("error reply is well-framed")
+        .expect("reply before close");
+    let resp = Response::decode(Opcode::Predict, code, &payload).expect("decode");
+    let Response::Error(msg) = resp else {
+        panic!("expected Error, got {resp:?}");
+    };
+    assert!(msg.contains("magic"), "unhelpful error: {msg}");
+    // The stream is unrecoverable: the server hangs up after reporting.
+    assert!(matches!(wire::read_frame(&mut raw), Ok(None)));
+
+    // A fresh, well-behaved client still gets service.
+    let mut client = Client::connect(&addr).expect("connect after abuse");
+    let replies = match client
+        .predict(vec![PredictItem { pc: 0x40, store_seq: 1 }])
+        .expect("predict")
+    {
+        Served::Ok(replies) => replies,
+        Served::Busy => panic!("unexpected Busy"),
+    };
+    assert_eq!(replies.len(), 1);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// A frame with an unknown protocol version is rejected the same way.
+#[test]
+fn bad_version_is_rejected() {
+    let (addr, handle) = spawn_server(2);
+
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    let mut frame = vec![0u8; HEADER_LEN];
+    frame[..4].copy_from_slice(&MAGIC);
+    frame[4] = 99; // future version
+    raw.write_all(&frame).expect("write bad version");
+    let (code, payload) = wire::read_frame(&mut raw)
+        .expect("error reply is well-framed")
+        .expect("reply before close");
+    let resp = Response::decode(Opcode::Predict, code, &payload).expect("decode");
+    let Response::Error(msg) = resp else {
+        panic!("expected Error, got {resp:?}");
+    };
+    assert!(msg.contains("version"), "unhelpful error: {msg}");
+    assert!(matches!(wire::read_frame(&mut raw), Ok(None)));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// A well-framed but malformed payload answers `Error` and the connection
+/// stays usable — the stream is still in sync.
+#[test]
+fn malformed_payload_keeps_the_connection_alive() {
+    let (addr, handle) = spawn_server(2);
+
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    // Predict frame claiming 2 items but carrying bytes for none.
+    wire::write_frame(&mut raw, Opcode::Predict as u8, &2u16.to_le_bytes())
+        .expect("write short batch");
+    let (code, payload) = wire::read_frame(&mut raw)
+        .expect("error reply is well-framed")
+        .expect("reply before close");
+    let resp = Response::decode(Opcode::Predict, code, &payload).expect("decode");
+    assert!(matches!(resp, Response::Error(_)), "got {resp:?}");
+
+    // Same socket, valid request: still served.
+    let req = wire::Request::Predict(vec![PredictItem { pc: 0x80, store_seq: 7 }]);
+    raw.write_all(&req.encode_frame()).expect("write valid");
+    let (code, payload) = wire::read_frame(&mut raw)
+        .expect("well-framed")
+        .expect("reply");
+    let resp = Response::decode(Opcode::Predict, code, &payload).expect("decode");
+    assert!(matches!(resp, Response::Predict(_)), "got {resp:?}");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
