@@ -1,0 +1,252 @@
+//! Differential checks: same-input determinism and MDP-only agreement.
+//!
+//! Two properties the rest of the repository silently relies on:
+//!
+//! 1. **Determinism** — a trace simulated twice under the same predictor
+//!    kind must produce bit-identical [`SimStats`] and leave the predictor
+//!    in the same state. The engine has no randomness; any divergence means
+//!    iteration-order or uninitialised-state leakage.
+//! 2. **Bypass demotion** — [`mascot::MascotMdpOnly`] is full MASCOT with
+//!    the bypass bit masked off, and MASCOT's training is invariant under
+//!    that demotion (`Dependence` and `Bypass` share a training arm). Walked
+//!    in lockstep over the same lookup/train stream, the two must therefore
+//!    agree on every prediction modulo [`MemDepPrediction::demote_bypass`].
+//!
+//! Predictor state is compared behaviorally: serde in this build is a
+//! vendored stub, so instead of serialising tables we clone the predictor
+//! and probe it with every distinct load PC in the trace ("what would you
+//! predict now?"). Two predictors that answer every probe identically are
+//! interchangeable for any continuation of the run.
+
+use mascot::config::MascotConfig;
+use mascot::history::BranchEvent;
+use mascot::mdp_only::MascotMdpOnly;
+use mascot::predictor::Mascot;
+use mascot::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, ObservedDependence,
+    StoreDistance,
+};
+use mascot_predictors::{AnyPredictor, PredictorKind};
+use mascot_sim::{CoreConfig, SimStats, Simulator, Trace, TraceDep, UopKind};
+
+/// A divergence found by a differential check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffError {
+    /// Two runs of the same configuration produced different statistics.
+    StatsDiverged {
+        /// Statistics of the first run.
+        first: Box<SimStats>,
+        /// Statistics of the second run.
+        second: Box<SimStats>,
+    },
+    /// Two runs left the predictor answering probes differently.
+    StateDiverged {
+        /// Probe PC whose answer differs.
+        pc: u64,
+        /// First run's answer.
+        first: MemDepPrediction,
+        /// Second run's answer.
+        second: MemDepPrediction,
+    },
+    /// MDP-only disagreed with demoted full MASCOT on a load.
+    DemotionDisagreed {
+        /// Trace index of the load.
+        trace_idx: usize,
+        /// Load PC.
+        pc: u64,
+        /// Full MASCOT's prediction.
+        full: MemDepPrediction,
+        /// MDP-only's prediction (expected `full.demote_bypass()`).
+        mdp_only: MemDepPrediction,
+    },
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::StatsDiverged { first, second } => write!(
+                f,
+                "nondeterministic statistics: first {first:?} vs second {second:?}"
+            ),
+            DiffError::StateDiverged { pc, first, second } => write!(
+                f,
+                "nondeterministic predictor state: probe pc {pc:#x} answers {first:?} vs {second:?}"
+            ),
+            DiffError::DemotionDisagreed {
+                trace_idx,
+                pc,
+                full,
+                mdp_only,
+            } => write!(
+                f,
+                "mdp-only diverged from demoted MASCOT at uop {trace_idx} (pc {pc:#x}): \
+                 full {full:?}, mdp-only {mdp_only:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Every distinct load PC of `trace`, in first-appearance order — the probe
+/// set for behavioral state comparison.
+fn probe_pcs(trace: &Trace) -> Vec<u64> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut pcs = Vec::new();
+    for u in &trace.uops {
+        if matches!(u.kind, UopKind::Load { .. }) && seen.insert(u.pc) {
+            pcs.push(u.pc);
+        }
+    }
+    pcs
+}
+
+/// Asks a clone of `pred` for its prediction at every probe PC. Cloning
+/// keeps the probe itself from perturbing the compared state.
+fn fingerprint(pred: &AnyPredictor, pcs: &[u64]) -> Vec<MemDepPrediction> {
+    let mut probe = pred.clone();
+    pcs.iter()
+        .map(|&pc| probe.predict(pc, u64::MAX / 2, None).0)
+        .collect()
+}
+
+/// Simulates `trace` twice under fresh predictors of `kind` and diffs both
+/// the statistics and the final predictor state. Returns the (identical)
+/// statistics on success.
+pub fn check_determinism(
+    trace: &Trace,
+    cfg: &CoreConfig,
+    kind: PredictorKind,
+) -> Result<SimStats, DiffError> {
+    let run = |kind: PredictorKind| {
+        let mut pred = kind.build();
+        let stats = Simulator::new(trace, cfg, &mut pred).run();
+        (stats, pred)
+    };
+    let (s1, p1) = run(kind);
+    let (s2, p2) = run(kind);
+    if s1 != s2 {
+        return Err(DiffError::StatsDiverged {
+            first: Box::new(s1),
+            second: Box::new(s2),
+        });
+    }
+    let pcs = probe_pcs(trace);
+    let (f1, f2) = (fingerprint(&p1, &pcs), fingerprint(&p2, &pcs));
+    for (i, (a, b)) in f1.iter().zip(&f2).enumerate() {
+        if a != b {
+            return Err(DiffError::StateDiverged {
+                pc: pcs[i],
+                first: *a,
+                second: *b,
+            });
+        }
+    }
+    Ok(s1)
+}
+
+/// The observed training outcome for a trace-annotated dependence, exactly
+/// as the engine reports it at commit for an in-window store.
+fn outcome_of(dep: Option<TraceDep>) -> LoadOutcome {
+    match dep.and_then(|d| StoreDistance::new(d.distance).map(|dist| (d, dist))) {
+        Some((d, dist)) => LoadOutcome::dependent(ObservedDependence {
+            distance: dist,
+            class: d.class,
+            store_pc: d.store_pc,
+            branches_between: d.branches_between,
+        }),
+        None => LoadOutcome::independent(),
+    }
+}
+
+/// Walks `trace` through a full MASCOT and a [`MascotMdpOnly`] in lockstep
+/// (same branch events, store dispatches, lookups and training outcomes)
+/// and verifies that every MDP-only prediction equals the full predictor's
+/// demoted one, including a final-state fingerprint over all load PCs.
+pub fn check_mdp_agreement(trace: &Trace) -> Result<(), DiffError> {
+    let mut full = Mascot::new(MascotConfig::default()).expect("valid default config");
+    let mut mdp = MascotMdpOnly::new(MascotConfig::default()).expect("valid default config");
+    let mut store_count = 0u64;
+    for (trace_idx, u) in trace.uops.iter().enumerate() {
+        match u.kind {
+            UopKind::Alu => {}
+            UopKind::Branch { kind, taken, target } => {
+                let ev = BranchEvent {
+                    pc: u.pc,
+                    kind,
+                    taken,
+                    target,
+                };
+                full.on_branch(&ev);
+                mdp.on_branch(&ev);
+            }
+            UopKind::Store { .. } => {
+                full.on_store_dispatch(u.pc, store_count);
+                mdp.on_store_dispatch(u.pc, store_count);
+                store_count += 1;
+            }
+            UopKind::Load { dep, .. } => {
+                let oracle = dep.and_then(|d| {
+                    Some(GroundTruth {
+                        distance: StoreDistance::new(d.distance)?,
+                        class: d.class,
+                    })
+                });
+                let (fp, fmeta) = full.predict(u.pc, store_count, oracle.as_ref());
+                let (mp, mmeta) = mdp.predict(u.pc, store_count, oracle.as_ref());
+                if mp != fp.demote_bypass() {
+                    return Err(DiffError::DemotionDisagreed {
+                        trace_idx,
+                        pc: u.pc,
+                        full: fp,
+                        mdp_only: mp,
+                    });
+                }
+                let out = outcome_of(dep);
+                full.train(u.pc, fmeta, fp, &out);
+                mdp.train(u.pc, mmeta, mp, &out);
+            }
+        }
+    }
+    // Final state: after identical histories the two must still answer every
+    // probe identically (modulo demotion).
+    for pc in probe_pcs(trace) {
+        let fp = full.clone().predict(pc, u64::MAX / 2, None).0;
+        let mp = mdp.clone().predict(pc, u64::MAX / 2, None).0;
+        if mp != fp.demote_bypass() {
+            return Err(DiffError::DemotionDisagreed {
+                trace_idx: trace.len(),
+                pc,
+                full: fp,
+                mdp_only: mp,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mascot_workloads::{generate, spec};
+
+    #[test]
+    fn deterministic_on_generated_workloads() {
+        let profile = spec::profile("exchange2").expect("known profile");
+        let trace = generate(&profile, 11, 5_000);
+        for kind in [PredictorKind::Mascot, PredictorKind::StoreSets] {
+            let stats = check_determinism(&trace, &CoreConfig::golden_cove(), kind)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(stats.committed_uops, trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn mdp_only_agrees_with_demoted_mascot() {
+        for name in ["perlbench2", "bwaves", "mcf"] {
+            let profile = spec::profile(name).expect("known profile");
+            let trace = generate(&profile, 3, 8_000);
+            check_mdp_agreement(&trace).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

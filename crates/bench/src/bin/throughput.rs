@@ -36,6 +36,12 @@ const ITERS: usize = 5;
 
 /// Allowed aggregate slowdown vs the committed baseline in `--check` mode.
 const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Full `measure()` passes in `--check` mode; the *median* aggregate is
+/// gated. Best-of-N inside one pass still leaves pass-to-pass spread on a
+/// loaded host (one bad scheduling window taints every cell it covers);
+/// the median of three passes is immune to any single bad window, which is
+/// what turned the 10% gate from flaky to dependable.
+const CHECK_PASSES: usize = 3;
 
 const BASELINE_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -113,9 +119,27 @@ fn baseline_aggregate(json: &str) -> Option<f64> {
     scan_f64_field(json, "aggregate_uops_per_sec")
 }
 
+/// Measures [`CHECK_PASSES`] times and returns the pass with the median
+/// aggregate (rows and aggregate stay consistent with each other).
+fn measure_median() -> (Vec<RunResult>, f64) {
+    let mut passes: Vec<(Vec<RunResult>, f64)> = (0..CHECK_PASSES)
+        .map(|i| {
+            let pass = measure();
+            println!(
+                "pass {}/{CHECK_PASSES}: {} Muops/s",
+                i + 1,
+                table::muops_per_sec(pass.1)
+            );
+            pass
+        })
+        .collect();
+    passes.sort_by(|a, b| a.1.total_cmp(&b.1));
+    passes.swap_remove(CHECK_PASSES / 2)
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    let (rows, aggregate) = measure();
+    let (rows, aggregate) = if check { measure_median() } else { measure() };
     print!("{}", render(&rows, aggregate));
 
     if check {

@@ -3,7 +3,7 @@
 //! ```text
 //! mascotd [--addr HOST:PORT] [--predictor KIND] [--shards N]
 //!         [--queue-depth N] [--max-batch N]
-//!         [--replay TRACE] [--port-file PATH]
+//!         [--replay TRACE] [--audit] [--port-file PATH]
 //! ```
 //!
 //! `--replay` warms every shard by replaying a trace as training traffic
@@ -11,6 +11,12 @@
 //! a path to an `.mtrc` file (see `mascot_sim::codec`) or the name of a
 //! built-in workload profile (e.g. `perlbench2`), which is generated on
 //! the fly.
+//!
+//! `--audit` (requires `--replay`) cross-checks the replay end to end: the
+//! trace must validate, its dependence annotations must agree with an
+//! independent re-derivation (`mascot_audit::renormalize`), and after the
+//! replay every load must be accounted for (`applied + stale == loads`).
+//! Any mismatch is fatal before the server accepts a single connection.
 //!
 //! `--port-file` writes the bound address (one line) once the listener is
 //! up — scripts bind port 0 and discover the real port from the file.
@@ -29,20 +35,23 @@ const REPLAY_GEN_SEED: u64 = 2025;
 struct Args {
     cfg: ServeConfig,
     replay: Option<String>,
+    audit: bool,
     port_file: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: mascotd [--addr HOST:PORT] [--predictor KIND] [--shards N]\n\
     \x20              [--queue-depth N] [--max-batch N]\n\
-    \x20              [--replay TRACE.mtrc|WORKLOAD] [--port-file PATH]\n\
-    KIND is a predictor label (default: mascot); see `mascot-loadgen --help`."
+    \x20              [--replay TRACE.mtrc|WORKLOAD] [--audit] [--port-file PATH]\n\
+    KIND is a predictor label (default: mascot); see `mascot-loadgen --help`.\n\
+    --audit validates the replay trace and its accounting (requires --replay)."
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cfg: ServeConfig::default(),
         replay: None,
+        audit: false,
         port_file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.pool.max_batch = parse_positive(&value("--max-batch")?, "--max-batch")?;
             }
             "--replay" => args.replay = Some(value("--replay")?),
+            "--audit" => args.audit = true,
             "--port-file" => args.port_file = Some(value("--port-file")?),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -76,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.audit && args.replay.is_none() {
+        return Err("--audit requires --replay".to_string());
     }
     Ok(args)
 }
@@ -138,11 +151,34 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if args.audit {
+            if let Err(e) = trace.validate() {
+                eprintln!("mascotd: audit: replay trace is invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+            // The annotations must match an independent re-derivation from
+            // the trace's own addresses (same check the shrinker relies on).
+            let renorm = mascot_audit::renormalize(&trace);
+            if renorm.uops != trace.uops {
+                eprintln!(
+                    "mascotd: audit: replay trace dependence annotations disagree \
+                     with re-derivation (corrupt or stale .mtrc?)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         let report = replay_trace(server.pool(), &trace);
         eprintln!(
             "mascotd: replayed {} uops ({} loads, {} trained, {} stale) in {} segments",
             report.uops, report.loads, report.applied, report.stale, report.segments
         );
+        if args.audit && report.applied + report.stale != report.loads {
+            eprintln!(
+                "mascotd: audit: replay accounting broken: {} applied + {} stale != {} loads",
+                report.applied, report.stale, report.loads
+            );
+            return ExitCode::FAILURE;
+        }
     }
 
     // Written only after bind (and replay warm-up): the file appearing

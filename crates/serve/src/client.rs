@@ -44,10 +44,12 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns a [`WireError`] on I/O failure, a malformed response, or a
-    /// connection closed before the response arrived.
+    /// Returns a [`WireError`] on I/O failure, a malformed response, a
+    /// connection closed before the response arrived, or an oversized
+    /// batch ([`WireError::BatchTooLarge`], rejected before any byte is
+    /// written so the stream stays in sync).
     pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
-        self.stream.write_all(&req.encode_frame())?;
+        self.stream.write_all(&req.encode_frame()?)?;
         let (code, payload) = wire::read_frame(&mut self.stream)?.ok_or(WireError::Closed)?;
         Response::decode(req.opcode(), code, &payload)
     }

@@ -185,8 +185,11 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
             Ok(None) => return, // clean close or idle shutdown
             Err(e) => {
                 // Framing is unrecoverable mid-stream: report and drop.
+                // (An Error response always encodes.)
                 let resp = Response::Error(e.to_string());
-                let _ = stream.write_all(&resp.encode_frame());
+                if let Ok(frame) = resp.encode_frame() {
+                    let _ = stream.write_all(&frame);
+                }
                 return;
             }
         };
@@ -197,7 +200,14 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
             Err(e) => Response::Error(e.to_string()),
         };
         let shutting_down = matches!(response, Response::Shutdown { .. });
-        if stream.write_all(&response.encode_frame()).is_err() {
+        // Responses mirror validated requests (reply batch == request batch,
+        // shard count fixed at startup), so encode failure here means a
+        // server bug; drop the connection rather than desync the stream.
+        let frame = match response.encode_frame() {
+            Ok(frame) => frame,
+            Err(_) => return,
+        };
+        if stream.write_all(&frame).is_err() {
             return;
         }
         if shutting_down {

@@ -558,6 +558,77 @@ mod tests {
         assert!(table.take(_t1, 0x14).is_none(), "tickets are single-use");
     }
 
+    /// Property-style check of the ticket slab against a slot-indexed
+    /// model: after arbitrary interleavings of inserts (slot reuse) and
+    /// takes — including across the `u32` ticket wrap — a take succeeds iff
+    /// the slot still holds exactly that (ticket, pc) pair, so a recycled
+    /// slot can never satisfy the ticket it evicted. Seeded and offline.
+    #[test]
+    fn pending_table_matches_model_under_random_reuse() {
+        use std::collections::HashMap;
+
+        const CAPACITY: u32 = 8; // tiny: every few inserts recycle a slot
+        let mut table = PendingTable::new(CAPACITY as usize);
+        table.next_ticket = u32::MAX - 500; // cross the wrap mid-test
+        let mut model: HashMap<u32, (u32, u64)> = HashMap::new(); // slot -> (ticket, pc)
+        let mut issued: Vec<(u32, u64)> = Vec::new(); // every ticket ever issued
+
+        let mut rng_state = 0x5eed_0123_4567_89abu64;
+        let mut rng = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+
+        let p = mascot::prediction::MemDepPrediction::NoDependence;
+        for round in 0..4_000u32 {
+            match rng() % 4 {
+                // Insert: the slot's previous occupant (if any) is evicted.
+                0 | 1 => {
+                    let pc = 0x40_0000 + (rng() % 64) * 4;
+                    let ticket = table.insert(pc, p, AnyMeta::Unit);
+                    model.insert(ticket % CAPACITY, (ticket, pc));
+                    issued.push((ticket, pc));
+                }
+                // Take a previously issued ticket with its true pc.
+                2 if !issued.is_empty() => {
+                    let (ticket, pc) = issued[(rng() as usize) % issued.len()];
+                    let expect_hit = model.get(&(ticket % CAPACITY)) == Some(&(ticket, pc));
+                    let got = table.take(ticket, pc);
+                    assert_eq!(got.is_some(), expect_hit, "round {round}, ticket {ticket:#x}");
+                    if let Some(pending) = got {
+                        assert_eq!((pending.ticket, pending.pc), (ticket, pc));
+                        model.remove(&(ticket % CAPACITY));
+                    }
+                }
+                // Take with a lying pc (or a never-issued ticket): never hits.
+                _ => {
+                    let ticket = if issued.is_empty() || rng() % 2 == 0 {
+                        rng() as u32
+                    } else {
+                        issued[(rng() as usize) % issued.len()].0
+                    };
+                    let bogus_pc = u64::MAX - u64::from(round);
+                    let expect_hit = model.get(&(ticket % CAPACITY)) == Some(&(ticket, bogus_pc));
+                    assert_eq!(
+                        table.take(ticket, bogus_pc).is_some(),
+                        expect_hit,
+                        "round {round}, ticket {ticket:#x}"
+                    );
+                    if expect_hit {
+                        model.remove(&(ticket % CAPACITY));
+                    }
+                }
+            }
+        }
+        // The surviving slots drain exactly once each.
+        for (_, (ticket, pc)) in model {
+            assert!(table.take(ticket, pc).is_some());
+            assert!(table.take(ticket, pc).is_none(), "tickets are single-use");
+        }
+    }
+
     #[test]
     fn sync_events_reach_every_shard() {
         use mascot::history::{BranchEvent, BranchKind};

@@ -100,6 +100,10 @@ pub enum WireError {
     BadStatus(u8),
     /// The payload length exceeds [`MAX_FRAME_PAYLOAD`].
     TooLarge(u32),
+    /// A batch handed to the encoder exceeds the wire limit. Caught at
+    /// encode time: the length prefix is a `u16`, so an unchecked cast
+    /// would silently truncate (65 536 items would go out as 0).
+    BatchTooLarge(usize),
     /// The payload was truncated or a field was out of range.
     Corrupt(&'static str),
     /// The peer closed the connection where a frame was expected.
@@ -116,6 +120,9 @@ impl std::fmt::Display for WireError {
             WireError::BadOpcode(c) => write!(f, "unknown opcode {c}"),
             WireError::BadStatus(c) => write!(f, "unknown response status {c}"),
             WireError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            WireError::BatchTooLarge(n) => {
+                write!(f, "batch of {n} items exceeds the wire limit of {MAX_BATCH}")
+            }
             WireError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
             WireError::Closed => write!(f, "connection closed"),
             WireError::Io(e) => write!(f, "i/o error: {e}"),
@@ -323,6 +330,15 @@ fn batch_count(r: &mut Reader<'_>, item_bytes: usize) -> Result<usize, WireError
     Ok(count)
 }
 
+/// Validates an outgoing batch size against [`MAX_BATCH`] and returns the
+/// `u16` count prefix — the encode-time twin of [`batch_count`].
+fn batch_len(len: usize) -> Result<u16, WireError> {
+    if len > MAX_BATCH {
+        return Err(WireError::BatchTooLarge(len));
+    }
+    Ok(len as u16)
+}
+
 fn class_code(c: BypassClass) -> u8 {
     match c {
         BypassClass::DirectBypass => 0,
@@ -517,12 +533,18 @@ impl Request {
     }
 
     /// Encodes the payload (without the frame header).
-    pub fn encode_payload(&self) -> Vec<u8> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BatchTooLarge`] when a batch exceeds
+    /// [`MAX_BATCH`]: the count prefix is a `u16`, and an unchecked cast
+    /// would truncate silently (a 65 536-item batch would claim 0 items).
+    pub fn encode_payload(&self) -> Result<Vec<u8>, WireError> {
+        Ok(match self {
             Request::Predict(items) => {
-                assert!(items.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                let count = batch_len(items.len())?;
                 let mut out = Vec::with_capacity(2 + items.len() * PREDICT_ITEM_BYTES);
-                out.extend_from_slice(&(items.len() as u16).to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
                 for item in items {
                     out.extend_from_slice(&item.pc.to_le_bytes());
                     out.extend_from_slice(&item.store_seq.to_le_bytes());
@@ -530,9 +552,9 @@ impl Request {
                 out
             }
             Request::Train(items) => {
-                assert!(items.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                let count = batch_len(items.len())?;
                 let mut out = Vec::with_capacity(2 + items.len() * TRAIN_ITEM_BYTES);
-                out.extend_from_slice(&(items.len() as u16).to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
                 for item in items {
                     out.extend_from_slice(&item.ticket.to_le_bytes());
                     out.extend_from_slice(&item.pc.to_le_bytes());
@@ -541,12 +563,16 @@ impl Request {
                 out
             }
             Request::Stats | Request::Shutdown => Vec::new(),
-        }
+        })
     }
 
     /// Assembles the complete request frame.
-    pub fn encode_frame(&self) -> Vec<u8> {
-        encode_frame(self.opcode() as u8, &self.encode_payload())
+    ///
+    /// # Errors
+    ///
+    /// As in [`Request::encode_payload`].
+    pub fn encode_frame(&self) -> Result<Vec<u8>, WireError> {
+        Ok(encode_frame(self.opcode() as u8, &self.encode_payload()?))
     }
 
     /// Decodes a request from a frame's code byte and payload.
@@ -609,12 +635,18 @@ impl Response {
     }
 
     /// Encodes the payload (without the frame header).
-    pub fn encode_payload(&self) -> Vec<u8> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BatchTooLarge`] when a reply batch exceeds
+    /// [`MAX_BATCH`] or a stats report exceeds [`MAX_SHARDS`] — the count
+    /// prefixes are narrow, so oversizes must fail rather than truncate.
+    pub fn encode_payload(&self) -> Result<Vec<u8>, WireError> {
+        Ok(match self {
             Response::Predict(replies) => {
-                assert!(replies.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                let count = batch_len(replies.len())?;
                 let mut out = Vec::with_capacity(2 + replies.len() * PREDICT_REPLY_BYTES);
-                out.extend_from_slice(&(replies.len() as u16).to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
                 for reply in replies {
                     out.extend_from_slice(&reply.ticket.to_le_bytes());
                     put_prediction(&mut out, reply.prediction);
@@ -628,7 +660,9 @@ impl Response {
                 out
             }
             Response::Stats(report) => {
-                assert!(report.shards.len() <= MAX_SHARDS, "too many shards");
+                if report.shards.len() > MAX_SHARDS {
+                    return Err(WireError::BatchTooLarge(report.shards.len()));
+                }
                 let mut out = Vec::with_capacity(4 + report.shards.len() * SHARD_STATS_BYTES);
                 out.extend_from_slice(&(report.shards.len() as u32).to_le_bytes());
                 for s in &report.shards {
@@ -651,12 +685,16 @@ impl Response {
             Response::Shutdown { served } => served.to_le_bytes().to_vec(),
             Response::Busy => Vec::new(),
             Response::Error(msg) => msg.as_bytes().to_vec(),
-        }
+        })
     }
 
     /// Assembles the complete response frame.
-    pub fn encode_frame(&self) -> Vec<u8> {
-        encode_frame(self.status() as u8, &self.encode_payload())
+    ///
+    /// # Errors
+    ///
+    /// As in [`Response::encode_payload`].
+    pub fn encode_frame(&self) -> Result<Vec<u8>, WireError> {
+        Ok(encode_frame(self.status() as u8, &self.encode_payload()?))
     }
 
     /// Decodes a response to a request with opcode `for_op`.
@@ -748,13 +786,13 @@ mod tests {
     }
 
     fn roundtrip_request(req: Request) -> Request {
-        let frame = req.encode_frame();
+        let frame = req.encode_frame().unwrap();
         let (code, payload) = read_frame(&mut frame.as_slice()).unwrap().unwrap();
         Request::decode(code, &payload).unwrap()
     }
 
     fn roundtrip_response(for_op: Opcode, resp: Response) -> Response {
-        let frame = resp.encode_frame();
+        let frame = resp.encode_frame().unwrap();
         let (code, payload) = read_frame(&mut frame.as_slice()).unwrap().unwrap();
         Response::decode(for_op, code, &payload).unwrap()
     }
@@ -821,13 +859,13 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_version_opcode_status() {
-        let mut frame = Request::Stats.encode_frame();
+        let mut frame = Request::Stats.encode_frame().unwrap();
         frame[0] = b'X';
         assert!(matches!(
             read_frame(&mut frame.as_slice()),
             Err(WireError::BadMagic)
         ));
-        let mut frame = Request::Stats.encode_frame();
+        let mut frame = Request::Stats.encode_frame().unwrap();
         frame[4] = 99;
         assert!(matches!(
             read_frame(&mut frame.as_slice()),
@@ -860,9 +898,52 @@ mod tests {
         ));
     }
 
+    /// The count prefix is a `u16`. Before the encoder became fallible a
+    /// 65 535-item batch encoded a full prefix and a 65 536-item batch
+    /// wrapped to a claimed count of 0 — both silently. Every oversize must
+    /// now fail at encode time, before a byte reaches the stream.
+    #[test]
+    fn encode_rejects_oversized_batches() {
+        let item = PredictItem { pc: 0, store_seq: 0 };
+        assert!(Request::Predict(vec![item; MAX_BATCH]).encode_frame().is_ok());
+        for n in [MAX_BATCH + 1, 65_535, 65_536] {
+            match Request::Predict(vec![item; n]).encode_payload() {
+                Err(WireError::BatchTooLarge(m)) => assert_eq!(m, n),
+                other => panic!("expected BatchTooLarge for {n} items, got {other:?}"),
+            }
+        }
+        let train = TrainItem {
+            ticket: 0,
+            pc: 0,
+            outcome: LoadOutcome::independent(),
+        };
+        assert!(matches!(
+            Request::Train(vec![train; 65_535]).encode_payload(),
+            Err(WireError::BatchTooLarge(65_535))
+        ));
+        let reply = PredictReply {
+            ticket: 0,
+            prediction: MemDepPrediction::NoDependence,
+        };
+        assert!(Response::Predict(vec![reply; MAX_BATCH]).encode_payload().is_ok());
+        assert!(matches!(
+            Response::Predict(vec![reply; 65_536]).encode_payload(),
+            Err(WireError::BatchTooLarge(65_536))
+        ));
+        let report = StatsReport {
+            shards: vec![ShardStats::default(); MAX_SHARDS + 1],
+        };
+        assert!(matches!(
+            Response::Stats(report).encode_payload(),
+            Err(WireError::BatchTooLarge(_))
+        ));
+    }
+
     #[test]
     fn rejects_truncation_and_close() {
-        let frame = Request::Predict(vec![PredictItem { pc: 1, store_seq: 2 }]).encode_frame();
+        let frame = Request::Predict(vec![PredictItem { pc: 1, store_seq: 2 }])
+            .encode_frame()
+            .unwrap();
         for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3, frame.len() - 1] {
             assert!(
                 read_frame(&mut &frame[..cut]).is_err(),

@@ -156,6 +156,21 @@ enum SquashReason {
     BypassFail,
 }
 
+/// A deliberately injected engine defect, used to exercise the audit layer
+/// (`Simulator::with_audit`, `crates/audit`). Each variant disables one
+/// bookkeeping step the cycle auditor is supposed to catch; production runs
+/// never set one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// `squash_from` keeps flushed load ids in the memory-order violation
+    /// table (a skipped LQ invalidation).
+    SkipViolationPurge,
+    /// `squash_from` leaves flushed `Ready` micro-ops in the ready masks.
+    SkipReadyMaskPurge,
+    /// `commit_load` drops the served-path accounting for forwarded loads.
+    SkipServedAccounting,
+}
+
 /// Age-ordered ready bitmap: one bit per in-flight micro-op.
 ///
 /// Ids are mapped to bits by `id & mask` with a power-of-two capacity of at
@@ -198,6 +213,17 @@ impl ReadyMask {
         debug_assert_ne!(self.words[b / 64] & bit, 0, "removing a present id");
         self.words[b / 64] &= !bit;
         self.count -= 1;
+    }
+
+    /// Membership test (audit path; not used by the issue loop).
+    #[inline]
+    fn contains(&self, id: u64) -> bool {
+        let b = (id & self.mask) as usize;
+        self.words[b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    fn len(&self) -> u32 {
+        self.count
     }
 
     /// Appends up to `k` ready ids to `out`, oldest first, where `front` is
@@ -271,7 +297,14 @@ impl EventWheel {
 
     #[inline]
     fn push(&mut self, now: u64, cycle: u64, id: u64, kind: u8) {
-        debug_assert!(cycle > now, "events fire strictly in the future");
+        // A hard error, not a debug_assert: a same-cycle push would land in
+        // the slot `process_events` has already drained this cycle, so the
+        // event would silently fire a whole wheel revolution late — a
+        // timing corruption far harder to diagnose than this panic.
+        assert!(
+            cycle > now,
+            "events fire strictly in the future (scheduled cycle {cycle} at now {now})"
+        );
         if cycle - now <= self.mask {
             self.slots[(cycle & self.mask) as usize].push((id, kind));
         } else {
@@ -360,6 +393,16 @@ pub struct Simulator<'a, P: MemDepPredictor> {
     /// Cycles between `end_tuning_period` calls to the predictor (§IV-F);
     /// `None` disables periodic tuning snapshots.
     tuning_period: Option<u64>,
+
+    /// Run the cycle auditor (`audit_cycle`) after every step. One
+    /// predictable branch per cycle when disabled.
+    audit: bool,
+    /// Injected defect for audit-layer testing; `None` in production.
+    fault: Option<Fault>,
+    /// Micro-ops that entered the ROB (audit accounting only).
+    audit_dispatched: u64,
+    /// Micro-ops flushed by squashes (audit accounting only).
+    audit_squashed: u64,
 }
 
 impl<P: MemDepPredictor> std::fmt::Debug for Simulator<'_, P> {
@@ -423,6 +466,10 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             last_commit_cycle: 0,
             stats: SimStats::default(),
             tuning_period: None,
+            audit: false,
+            fault: None,
+            audit_dispatched: 0,
+            audit_squashed: 0,
         }
     }
 
@@ -432,6 +479,22 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
     pub fn with_tuning_period(mut self, cycles: u64) -> Self {
         assert!(cycles > 0, "tuning period must be non-zero");
         self.tuning_period = Some(cycles);
+        self
+    }
+
+    /// Enables the cycle auditor: after every cycle the full set of engine
+    /// invariants (ROB id/age ordering, LQ/SB ↔ ROB consistency, ready-mask
+    /// agreement, accounting identities) is validated and any violation
+    /// panics with a description — in release builds too. Costs O(window)
+    /// work per cycle; leave disabled for performance runs.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Injects a deliberate engine defect (audit-layer testing only).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
         self
     }
 
@@ -465,6 +528,9 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         self.stats.l1d_misses = self.mem.l1d.stats.misses;
         self.stats.l2_misses = self.mem.l2.stats.misses;
         self.stats.l3_misses = self.mem.l3.stats.misses;
+        if self.audit {
+            self.audit_final();
+        }
         self.stats
     }
 
@@ -480,6 +546,9 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             if self.now.is_multiple_of(period) {
                 self.pred.end_tuning_period();
             }
+        }
+        if self.audit {
+            self.audit_cycle();
         }
     }
 
@@ -898,6 +967,7 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         // Flush the victim and everything younger.
         while self.rob.len() > vpos {
             let e = self.rob.pop_back().expect("len > vpos");
+            self.audit_squashed += 1;
             match &e.payload {
                 Payload::Store { store_seq } => {
                     let back = self.sb.pop_back().expect("store has an SB entry");
@@ -910,7 +980,7 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             if matches!(e.state, State::Waiting | State::Ready) {
                 self.iq_count -= 1;
             }
-            if e.state == State::Ready {
+            if e.state == State::Ready && self.fault != Some(Fault::SkipReadyMaskPurge) {
                 let class = e.payload.port_class();
                 self.ready_class(class).remove(e.id);
             }
@@ -932,10 +1002,12 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             s.waiting_loads.retain(|&l| l < victim);
             s.bypass_waiters.retain(|&l| l < victim);
         }
-        self.violations.retain(|_, loads| {
-            loads.retain(|&l| l < victim);
-            !loads.is_empty()
-        });
+        if self.fault != Some(Fault::SkipViolationPurge) {
+            self.violations.retain(|_, loads| {
+                loads.retain(|&l| l < victim);
+                !loads.is_empty()
+            });
+        }
         for e in &mut self.rob {
             e.dependents.retain(|&d| d < victim);
         }
@@ -1025,6 +1097,7 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         }
         match info.served {
             Served::Cache => self.stats.loads_from_cache += 1,
+            Served::Forwarded if self.fault == Some(Fault::SkipServedAccounting) => {}
             Served::Forwarded => self.stats.loads_forwarded += 1,
             Served::Bypassed => self.stats.loads_bypassed += 1,
         }
@@ -1161,6 +1234,7 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
     fn dispatch_one(&mut self, uop: Uop) -> bool {
         let id = self.next_id;
         self.next_id += 1;
+        self.audit_dispatched += 1;
         let trace_idx = self.fetch_idx;
 
         // Register dataflow (a micro-op has at most two sources).
@@ -1364,6 +1438,328 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             payload,
         });
         frontend_stall
+    }
+
+    // ---------------------------------------------------------- audit
+
+    /// Panics with an invariant name, engine context and detail. Cold and
+    /// out-of-line so the check sites in `audit_cycle` stay cheap.
+    #[cold]
+    #[inline(never)]
+    fn audit_fail(&self, invariant: &str, detail: String) -> ! {
+        panic!(
+            "audit violation [{invariant}] at cycle {} \
+             (trace {:?}, committed {}/{}, fetch_idx {}, rob {} entries): {detail}",
+            self.now,
+            self.trace.name,
+            self.committed,
+            self.trace.len(),
+            self.fetch_idx,
+            self.rob.len()
+        );
+    }
+
+    /// Validates the cross-structure invariants of the engine after a cycle.
+    ///
+    /// Runs in release builds (plain `if` checks, not `debug_assert!`); the
+    /// cost is O(in-flight window) per cycle, which is why it hides behind
+    /// [`Simulator::with_audit`].
+    fn audit_cycle(&self) {
+        // --- ROB: contiguous ids, monotone dispatch order, per-entry state.
+        let mut iq = 0u32;
+        let mut lq = 0u32;
+        let mut ready = [0u32; 3]; // Store / Load / Alu
+        if let Some(front) = self.rob.front() {
+            let base = front.id;
+            if base + self.rob.len() as u64 != self.next_id {
+                self.audit_fail(
+                    "rob tail matches id allocator",
+                    format!(
+                        "front {base} + len {} != next_id {}",
+                        self.rob.len(),
+                        self.next_id
+                    ),
+                );
+            }
+            let mut prev_dispatch = front.dispatch_cycle;
+            for (i, e) in self.rob.iter().enumerate() {
+                if e.id != base + i as u64 {
+                    self.audit_fail(
+                        "rob ids contiguous",
+                        format!("position {i} holds id {}, expected {}", e.id, base + i as u64),
+                    );
+                }
+                if e.dispatch_cycle < prev_dispatch {
+                    self.audit_fail(
+                        "rob age order",
+                        format!(
+                            "id {} dispatched at {} after predecessor's {}",
+                            e.id, e.dispatch_cycle, prev_dispatch
+                        ),
+                    );
+                }
+                prev_dispatch = e.dispatch_cycle;
+                match (e.state, e.deps_remaining) {
+                    (State::Waiting, 0) => self.audit_fail(
+                        "waiting implies pending deps",
+                        format!("id {} is Waiting with deps_remaining 0", e.id),
+                    ),
+                    (State::Ready | State::Issued | State::Done, d) if d > 0 => self.audit_fail(
+                        "ready/issued/done implies no deps",
+                        format!("id {} is {:?} with deps_remaining {d}", e.id, e.state),
+                    ),
+                    _ => {}
+                }
+                if e.state == State::Done && e.complete_at.is_none_or(|c| c > self.now) {
+                    self.audit_fail(
+                        "done implies completed",
+                        format!("id {} Done with complete_at {:?} at now {}", e.id, e.complete_at, self.now),
+                    );
+                }
+                if matches!(e.state, State::Waiting | State::Ready) {
+                    iq += 1;
+                }
+                let mask = match e.payload.port_class() {
+                    PortClass::Store => &self.ready_stores,
+                    PortClass::Load => &self.ready_loads,
+                    PortClass::Alu => &self.ready_alus,
+                };
+                if mask.contains(e.id) != (e.state == State::Ready) {
+                    self.audit_fail(
+                        "ready mask agrees with state",
+                        format!(
+                            "id {} ({:?}) state {:?} but mask membership {}",
+                            e.id,
+                            e.payload.port_class(),
+                            e.state,
+                            mask.contains(e.id)
+                        ),
+                    );
+                }
+                if e.state == State::Ready {
+                    ready[e.payload.port_class() as usize] += 1;
+                }
+                match &e.payload {
+                    Payload::Load(_) => lq += 1,
+                    Payload::Store { store_seq } => match self.sb_pos(*store_seq) {
+                        None => self.audit_fail(
+                            "in-rob store has an SB entry",
+                            format!("id {} store_seq {store_seq} not in SB", e.id),
+                        ),
+                        Some(pos) if self.sb[pos].committed_at.is_some() => self.audit_fail(
+                            "in-rob store not committed",
+                            format!("id {} store_seq {store_seq} already committed in SB", e.id),
+                        ),
+                        Some(_) => {}
+                    },
+                    _ => {}
+                }
+                for &d in &e.dependents {
+                    if self.pos_of(d).is_none() {
+                        self.audit_fail(
+                            "dependents are in flight",
+                            format!("id {} lists flushed dependent {d}", e.id),
+                        );
+                    }
+                }
+            }
+        }
+        if iq != self.iq_count {
+            self.audit_fail(
+                "iq occupancy",
+                format!("counter {} vs {} waiting/ready entries", self.iq_count, iq),
+            );
+        }
+        if lq != self.lq_count {
+            self.audit_fail(
+                "lq occupancy",
+                format!("counter {} vs {} in-flight loads", self.lq_count, lq),
+            );
+        }
+        let mask_counts = [
+            self.ready_stores.len(),
+            self.ready_loads.len(),
+            self.ready_alus.len(),
+        ];
+        if ready != mask_counts {
+            self.audit_fail(
+                "ready mask population",
+                format!("rob ready counts {ready:?} vs mask counts {mask_counts:?}"),
+            );
+        }
+
+        // --- Store buffer: contiguous seqs, allocator agreement, waiter ids.
+        if let Some(sfront) = self.sb.front() {
+            let sbase = sfront.store_seq;
+            if self.sb.back().expect("non-empty").store_seq + 1 != self.store_seq_next {
+                self.audit_fail(
+                    "sb tail matches seq allocator",
+                    format!(
+                        "back seq {} + 1 != store_seq_next {}",
+                        self.sb.back().expect("non-empty").store_seq,
+                        self.store_seq_next
+                    ),
+                );
+            }
+            for (i, s) in self.sb.iter().enumerate() {
+                if s.store_seq != sbase + i as u64 {
+                    self.audit_fail(
+                        "sb seqs contiguous",
+                        format!("position {i} holds seq {}, expected {}", s.store_seq, sbase + i as u64),
+                    );
+                }
+                for &w in &s.waiting_loads {
+                    if self.pos_of(w).is_none() {
+                        self.audit_fail(
+                            "sb waiters in flight",
+                            format!("seq {} waiting_loads holds flushed id {w}", s.store_seq),
+                        );
+                    }
+                }
+                for &b in &s.bypass_waiters {
+                    match self.entry(b) {
+                        None => self.audit_fail(
+                            "sb bypass waiters in flight",
+                            format!("seq {} bypass_waiters holds flushed id {b}", s.store_seq),
+                        ),
+                        Some(e) if !matches!(e.payload, Payload::Load(_)) => self.audit_fail(
+                            "sb bypass waiters are loads",
+                            format!("seq {} bypass waiter {b} is not a load", s.store_seq),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+
+        // --- Violation table: stores pending issue, loads still in flight.
+        for (&seq, loads) in &self.violations {
+            match self.sb_pos(seq) {
+                None => self.audit_fail(
+                    "violation store in SB",
+                    format!("violation entry names drained/flushed store seq {seq}"),
+                ),
+                Some(pos) if self.sb[pos].issued => self.audit_fail(
+                    "violation store unissued",
+                    format!("violation entry survives its store's issue (seq {seq})"),
+                ),
+                Some(_) => {}
+            }
+            if loads.is_empty() {
+                self.audit_fail(
+                    "violation lists non-empty",
+                    format!("empty stale-load list for store seq {seq}"),
+                );
+            }
+            for &l in loads {
+                match self.entry(l) {
+                    None => self.audit_fail(
+                        "violation loads in flight",
+                        format!("store seq {seq} lists flushed load id {l}"),
+                    ),
+                    Some(e) if !matches!(e.payload, Payload::Load(_)) => self.audit_fail(
+                        "violation entries are loads",
+                        format!("store seq {seq} lists non-load id {l}"),
+                    ),
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // --- Rename map points at live producers of the right register.
+        for (reg, writer) in self.reg_writer.iter().enumerate() {
+            let Some(id) = writer else { continue };
+            match self.entry(*id) {
+                None => self.audit_fail(
+                    "rename map in flight",
+                    format!("reg {reg} names flushed writer {id}"),
+                ),
+                Some(e) if e.dst != Some(reg as u8) => self.audit_fail(
+                    "rename map register agreement",
+                    format!("reg {reg} names id {id} whose dst is {:?}", e.dst),
+                ),
+                Some(_) => {}
+            }
+        }
+        if let Some(b) = self.pending_redirect {
+            match self.entry(b) {
+                None => self.audit_fail(
+                    "pending redirect in flight",
+                    format!("redirect names flushed id {b}"),
+                ),
+                Some(e) if !matches!(e.payload, Payload::Branch) => self.audit_fail(
+                    "pending redirect is a branch",
+                    format!("redirect names non-branch id {b}"),
+                ),
+                Some(_) => {}
+            }
+        }
+
+        // --- Accounting: everything dispatched either committed, is in
+        // flight, or was squashed.
+        let accounted = self.committed + self.rob.len() as u64 + self.audit_squashed;
+        if accounted != self.audit_dispatched {
+            self.audit_fail(
+                "dispatch accounting",
+                format!(
+                    "committed {} + in-flight {} + squashed {} != dispatched {}",
+                    self.committed,
+                    self.rob.len(),
+                    self.audit_squashed,
+                    self.audit_dispatched
+                ),
+            );
+        }
+        if let Err(detail) = self.stats.check_identities() {
+            self.audit_fail("stats identities", detail);
+        }
+    }
+
+    /// End-of-run audit: the pipeline drained completely and the committed
+    /// stream matches the trace's composition.
+    fn audit_final(&self) {
+        if !self.rob.is_empty() || self.iq_count != 0 || self.lq_count != 0 {
+            self.audit_fail(
+                "pipeline drained",
+                format!(
+                    "rob {} entries, iq {}, lq {} after the last commit",
+                    self.rob.len(),
+                    self.iq_count,
+                    self.lq_count
+                ),
+            );
+        }
+        if !self.violations.is_empty() {
+            self.audit_fail(
+                "violation table drained",
+                format!("{} stale entries at end of run", self.violations.len()),
+            );
+        }
+        let (mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64);
+        for u in &self.trace.uops {
+            match u.kind {
+                UopKind::Load { .. } => loads += 1,
+                UopKind::Store { .. } => stores += 1,
+                UopKind::Branch { .. } => branches += 1,
+                UopKind::Alu => {}
+            }
+        }
+        let got = (
+            self.stats.committed_uops,
+            self.stats.committed_loads,
+            self.stats.committed_stores,
+            self.stats.committed_branches,
+        );
+        let want = (self.trace.len() as u64, loads, stores, branches);
+        if got != want {
+            self.audit_fail(
+                "commit stream matches trace composition",
+                format!("(uops, loads, stores, branches): committed {got:?} vs trace {want:?}"),
+            );
+        }
+        if let Err(detail) = self.stats.check_identities() {
+            self.audit_fail("stats identities", detail);
+        }
     }
 }
 
@@ -1859,6 +2255,206 @@ mod tests {
         let stats = simulate(&trace, &golden(), &mut p);
         // 64 PCs over 4-byte spacing = 4 lines: a handful of cold misses.
         assert!(stats.l1i_misses <= 8, "l1i misses {}", stats.l1i_misses);
+    }
+
+    /// Same-cycle event scheduling is an engine bug: the slot for `now` has
+    /// already been drained, so the event would fire a wheel revolution
+    /// late. The push must hard-fail in release builds too.
+    #[test]
+    #[should_panic(expected = "events fire strictly in the future")]
+    fn event_wheel_rejects_same_cycle_push() {
+        let mut w = EventWheel::new(64);
+        w.push(10, 10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "events fire strictly in the future")]
+    fn event_wheel_rejects_past_push() {
+        let mut w = EventWheel::new(64);
+        w.push(10, 9, 1, 0);
+    }
+
+    /// Beyond-horizon events spill to the overflow heap and are still
+    /// delivered at the right cycle, merged with wheel-resident events.
+    #[test]
+    fn event_wheel_overflow_delivers_on_time() {
+        let mut w = EventWheel::new(16);
+        let far = w.mask + 50; // past the wheel horizon from cycle 0
+        w.push(0, far, 7, 0);
+        w.push(0, 3, 1, 1);
+        assert_eq!(w.take_due(3), vec![(1, 1)]);
+        for c in 4..far {
+            assert!(w.take_due(c).is_empty(), "no event due at {c}");
+        }
+        assert_eq!(w.take_due(far), vec![(7, 0)]);
+    }
+
+    /// Seeded model check: the ready mask agrees with an ordered-set model
+    /// through random insert/remove churn and a sliding id window, both in
+    /// membership, count and `pick_oldest` order.
+    #[test]
+    fn ready_mask_matches_model_under_random_churn() {
+        use std::collections::BTreeSet;
+
+        const ROB: usize = 512; // window width; mask capacity matches
+        let mut mask = ReadyMask::new(ROB);
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        let mut front = 0u64; // oldest id that may be present
+        let mut next_id = 0u64; // ids dispatched so far
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            // xorshift*: deterministic, no external dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+
+        let mut scratch = Vec::new();
+        for round in 0..20_000u32 {
+            match rng() % 4 {
+                // Dispatch: a fresh id becomes ready (window permitting).
+                0 if (next_id - front) < ROB as u64 => {
+                    mask.insert(next_id);
+                    model.insert(next_id);
+                    next_id += 1;
+                }
+                // Issue: a random ready id leaves the mask.
+                1 if !model.is_empty() => {
+                    let nth = (rng() as usize) % model.len();
+                    let id = *model.iter().nth(nth).expect("in range");
+                    mask.remove(id);
+                    model.remove(&id);
+                }
+                // Commit: the window front advances, evicting old ids.
+                2 if front < next_id => {
+                    let step = 1 + (rng() % 8);
+                    let new_front = (front + step).min(next_id);
+                    let evict: Vec<u64> =
+                        model.range(..new_front).copied().collect();
+                    for id in evict {
+                        mask.remove(id);
+                        model.remove(&id);
+                    }
+                    front = new_front;
+                }
+                // Drain check: oldest-k agrees with the model's order.
+                _ => {
+                    let k = (rng() as usize) % 8;
+                    scratch.clear();
+                    mask.pick_oldest(front, k, &mut scratch);
+                    let want: Vec<u64> =
+                        model.iter().copied().take(k.min(model.len())).collect();
+                    assert_eq!(scratch, want, "round {round} front {front}");
+                }
+            }
+            assert_eq!(mask.len() as usize, model.len(), "round {round}");
+            // Spot-check membership across the whole live window.
+            if round % 512 == 0 {
+                for id in front..next_id {
+                    assert_eq!(mask.contains(id), model.contains(&id), "id {id}");
+                }
+            }
+        }
+    }
+
+    /// The audited engine accepts legitimate executions, including
+    /// squash-heavy and bypass-heavy ones.
+    #[test]
+    fn audit_accepts_clean_runs() {
+        let cases: Vec<(Trace, Fixed)> = vec![
+            (store_load_trace(300, 12), always_no_dep()),
+            (store_load_trace(300, 10), always_bypass(1)),
+            (store_load_trace(300, 6), always_dep(1)),
+        ];
+        for (trace, mut p) in cases {
+            let stats = Simulator::new(&trace, &golden(), &mut p)
+                .with_audit()
+                .run();
+            assert_eq!(stats.committed_uops, trace.len() as u64);
+        }
+    }
+
+    /// A skipped LQ invalidation (flushed loads surviving in the violation
+    /// table) is caught by the auditor on the squash cycle.
+    #[test]
+    fn audit_catches_skipped_violation_purge() {
+        let trace = store_load_trace(300, 12); // squash-heavy with no-dep
+        let mut p = always_no_dep();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(&trace, &golden(), &mut p)
+                .with_audit()
+                .with_fault(Fault::SkipViolationPurge)
+                .run()
+        }));
+        let msg = panic_message(result);
+        assert!(msg.contains("audit violation"), "panic was: {msg}");
+    }
+
+    /// Ready-mask entries surviving a flush are caught as a population or
+    /// membership mismatch. A single ALU port keeps a backlog of Ready
+    /// micro-ops queued so the squash window actually contains some.
+    #[test]
+    fn audit_catches_skipped_ready_mask_purge() {
+        let mut cfg = golden();
+        cfg.alu_ports = 1;
+        let mut uops = Vec::new();
+        for i in 0..200u64 {
+            let base = 0x1000 + i * 64;
+            uops.push(Uop::alu(0x400, [None, None], Some(1), 12));
+            uops.push(Uop::store(0x410, base, 8, None, Some(1)));
+            let mut dep = dep1().unwrap();
+            dep.store_pc = 0x410;
+            uops.push(Uop::load(0x420, base, 8, None, 2, Some(dep)));
+            for _ in 0..6 {
+                uops.push(Uop::alu(0x430, [None, None], None, 1));
+            }
+        }
+        let trace = Trace::new("ready-backlog", uops);
+        let mut p = always_no_dep();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(&trace, &cfg, &mut p)
+                .with_audit()
+                .with_fault(Fault::SkipReadyMaskPurge)
+                .run()
+        }));
+        // Debug builds may trip the mask's own debug_assert first; either
+        // way the defect cannot survive an audited run.
+        let msg = panic_message(result);
+        assert!(
+            msg.contains("audit violation") || msg.contains("ready ids are unique"),
+            "panic was: {msg}"
+        );
+    }
+
+    /// Dropped served-path accounting breaks the per-load census identity.
+    #[test]
+    fn audit_catches_skipped_served_accounting() {
+        let trace = store_load_trace(100, 1); // forwarding-heavy
+        let mut p = mascot_test_oracle();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(&trace, &golden(), &mut p)
+                .with_audit()
+                .with_fault(Fault::SkipServedAccounting)
+                .run()
+        }));
+        let msg = panic_message(result);
+        assert!(msg.contains("served-path census"), "panic was: {msg}");
+    }
+
+    fn panic_message(result: std::thread::Result<SimStats>) -> String {
+        match result {
+            Ok(_) => String::from("<no panic>"),
+            Err(e) => {
+                if let Some(s) = e.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = e.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    String::from("<non-string panic>")
+                }
+            }
+        }
     }
 
     /// Tuning periods fire and flush: the predictor sees at least one

@@ -152,6 +152,95 @@ impl SimStats {
         self.stall_frontend + self.stall_rob + self.stall_iq + self.stall_lq + self.stall_sb
     }
 
+    /// Verifies the accounting identities that relate these counters to one
+    /// another, returning a description of the first violated identity.
+    ///
+    /// Every committed load is counted exactly once by the prediction
+    /// census, the served-path census and the misprediction taxonomy, so
+    /// their sums must all equal `committed_loads`; the in-flight class
+    /// census and the stall taxonomy are bounded sums. The identities hold
+    /// mid-run too (the cycle auditor checks them every cycle);
+    /// cycle-relative bounds are skipped while `cycles` is still zero.
+    pub fn check_identities(&self) -> Result<(), String> {
+        let check = |name: &str, lhs: u64, rhs: u64| {
+            if lhs == rhs {
+                Ok(())
+            } else {
+                Err(format!("{name}: {lhs} != {rhs}"))
+            }
+        };
+        check(
+            "prediction census covers committed loads \
+             (pred_no_dep + pred_mdp + pred_smb == committed_loads)",
+            self.pred_no_dep + self.pred_mdp + self.pred_smb,
+            self.committed_loads,
+        )?;
+        check(
+            "served-path census covers committed loads \
+             (cache + forwarded + bypassed == committed_loads)",
+            self.loads_from_cache + self.loads_forwarded + self.loads_bypassed,
+            self.committed_loads,
+        )?;
+        check(
+            "no-dependence taxonomy (correct_no_dep + missed == pred_no_dep)",
+            self.correct_no_dep + self.missed_dependencies,
+            self.pred_no_dep,
+        )?;
+        check(
+            "dependence taxonomy (correct_mdp + wrong_store + false_deps \
+             + correct_smb + smb_errors == pred_mdp + pred_smb)",
+            self.correct_mdp
+                + self.wrong_store
+                + self.false_dependencies
+                + self.correct_smb
+                + self.smb_errors,
+            self.pred_mdp + self.pred_smb,
+        )?;
+        let class_census = self.class_direct_bypass
+            + self.class_no_offset
+            + self.class_offset
+            + self.class_mdp_only;
+        if class_census > self.committed_loads {
+            return Err(format!(
+                "class census exceeds committed loads: {class_census} > {}",
+                self.committed_loads
+            ));
+        }
+        if self.committed_loads + self.committed_stores + self.committed_branches
+            > self.committed_uops
+        {
+            return Err(format!(
+                "per-kind commits exceed total: {} loads + {} stores + {} branches > {} uops",
+                self.committed_loads,
+                self.committed_stores,
+                self.committed_branches,
+                self.committed_uops
+            ));
+        }
+        if self.dependent_wait_count > self.committed_uops {
+            return Err(format!(
+                "dependent-wait count exceeds commits: {} > {}",
+                self.dependent_wait_count, self.committed_uops
+            ));
+        }
+        if self.cycles > 0 {
+            if self.total_dispatch_stalls() > self.cycles {
+                return Err(format!(
+                    "dispatch stalls exceed cycles: {} > {}",
+                    self.total_dispatch_stalls(),
+                    self.cycles
+                ));
+            }
+            if self.stall_frontend > self.cycles {
+                return Err(format!(
+                    "frontend stalls exceed cycles: {} > {}",
+                    self.stall_frontend, self.cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Fraction of committed loads with any in-flight dependence (Fig. 2's
     /// bar height).
     pub fn dependent_load_fraction(&self) -> f64 {
@@ -186,6 +275,55 @@ mod tests {
         assert_eq!(s.total_mispredictions(), 11);
         assert_eq!(s.speculative_errors(), 6);
         assert!((s.mdp_mpki() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identities_accept_consistent_counters() {
+        let s = SimStats {
+            cycles: 100,
+            committed_uops: 30,
+            committed_loads: 10,
+            pred_no_dep: 6,
+            pred_mdp: 3,
+            pred_smb: 1,
+            correct_no_dep: 5,
+            missed_dependencies: 1,
+            correct_mdp: 2,
+            wrong_store: 1,
+            correct_smb: 1,
+            loads_from_cache: 7,
+            loads_forwarded: 2,
+            loads_bypassed: 1,
+            class_direct_bypass: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.check_identities(), Ok(()));
+        // The zeroed struct is trivially consistent too.
+        assert_eq!(SimStats::default().check_identities(), Ok(()));
+    }
+
+    #[test]
+    fn identities_reject_served_census_undercount() {
+        let s = SimStats {
+            committed_loads: 10,
+            pred_no_dep: 10,
+            correct_no_dep: 10,
+            loads_from_cache: 9, // one load unaccounted
+            ..Default::default()
+        };
+        let err = s.check_identities().unwrap_err();
+        assert!(err.contains("served-path census"), "{err}");
+    }
+
+    #[test]
+    fn identities_reject_stall_overcount() {
+        let s = SimStats {
+            cycles: 10,
+            stall_rob: 11,
+            ..Default::default()
+        };
+        let err = s.check_identities().unwrap_err();
+        assert!(err.contains("dispatch stalls"), "{err}");
     }
 
     #[test]

@@ -4,14 +4,17 @@
 #   scripts/check.sh            # offline build + tests + perf checks
 #   CARGO_FLAGS= scripts/check.sh   # allow network (e.g. first-time fetch)
 #
-# Fails if the build (warnings are errors) or any test fails, if aggregate
-# simulator throughput regresses more than 10% against the committed
-# BENCH_sim_throughput.json baseline, or if the mascot-serve loopback
-# smoke (real mascotd process + mascot-loadgen over TCP) loses requests,
-# achieves zero QPS, or fails to drain on shutdown. Regenerate the
-# baselines with `cargo run --release -p mascot-bench --bin throughput`
-# and `cargo run --release -p mascot-serve --bin mascot-loadgen` on
-# intentional perf changes, and commit the new files alongside them.
+# Fails if the build (warnings are errors) or any test fails, if the
+# seeded audit soak (cycle-granular invariant checks + differential runs
+# across every workload profile) flags a violation, if aggregate simulator
+# throughput regresses more than 10% against the committed
+# BENCH_sim_throughput.json baseline (median of 3 passes), or if the
+# mascot-serve loopback smoke (real mascotd process + mascot-loadgen over
+# TCP) loses requests, achieves zero QPS, or fails to drain on shutdown.
+# Regenerate the baselines with `cargo run --release -p mascot-bench --bin
+# throughput` and `cargo run --release -p mascot-serve --bin
+# mascot-loadgen` on intentional perf changes, and commit the new files
+# alongside them.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,10 +23,20 @@ CARGO_FLAGS=${CARGO_FLAGS---offline}
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
 echo "== tier-1: release build (warnings are errors) =="
-cargo build --release ${CARGO_FLAGS}
+# --workspace: the root is a real package, so a bare `cargo build` would
+# compile only it and the smoke step below could run a *stale*
+# target/release/mascotd (or none at all on a fresh clone).
+cargo build --release ${CARGO_FLAGS} --workspace
 
 echo "== tier-1: tests =="
 cargo test -q ${CARGO_FLAGS}
+
+echo "== audit soak (seeded, all workload profiles) =="
+# Fixed seed and a bounded per-profile budget keep this deterministic and
+# inside a couple of minutes; failures shrink to .mtrc repros under
+# target/audit-repros/ and print the replay command.
+cargo run --release ${CARGO_FLAGS} -p mascot-audit --bin audit-soak -- \
+    --seed 2025 --uops 20000
 
 echo "== throughput check =="
 cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check
@@ -31,7 +44,10 @@ cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check
 echo "== serve smoke (mascotd + loadgen over loopback) =="
 PORT_FILE=$(mktemp)
 rm -f "${PORT_FILE}"  # mascotd recreates it once the listener is ready
-./target/release/mascotd --addr 127.0.0.1:0 --shards 4 --port-file "${PORT_FILE}" &
+# --audit validates the replay trace (and its applied+stale accounting)
+# before the server opens for business.
+./target/release/mascotd --addr 127.0.0.1:0 --shards 4 \
+    --replay mcf --audit --port-file "${PORT_FILE}" &
 MASCOTD_PID=$!
 trap 'kill ${MASCOTD_PID} 2>/dev/null || true; rm -f "${PORT_FILE}"' EXIT
 for _ in $(seq 1 100); do

@@ -196,7 +196,8 @@ fn malformed_payload_keeps_the_connection_alive() {
 
     // Same socket, valid request: still served.
     let req = wire::Request::Predict(vec![PredictItem { pc: 0x80, store_seq: 7 }]);
-    raw.write_all(&req.encode_frame()).expect("write valid");
+    raw.write_all(&req.encode_frame().expect("encodable batch"))
+        .expect("write valid");
     let (code, payload) = wire::read_frame(&mut raw)
         .expect("well-framed")
         .expect("reply");
