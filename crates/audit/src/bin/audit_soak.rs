@@ -17,7 +17,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mascot_audit::runner::quiet_panics;
-use mascot_audit::{check_determinism, check_mdp_agreement, run_audited, shrink, write_repro};
+use mascot_audit::{
+    check_batch_equivalence, check_determinism, check_mdp_agreement, run_audited, shrink,
+    write_repro,
+};
 use mascot_predictors::PredictorKind;
 use mascot_sim::{codec, CoreConfig, Fault, Trace};
 use mascot_workloads::{generate, spec};
@@ -272,6 +275,24 @@ fn main() -> ExitCode {
     );
 
     let mut failures = Vec::new();
+
+    // Trace-independent: the batch API's sequential-equivalence contract,
+    // for every predictor in the registry (seeded synthetic streams).
+    if !args.no_diff {
+        for kind in PredictorKind::ALL {
+            match check_batch_equivalence(kind, args.seed, 4_000) {
+                Ok(()) => println!("batch-equivalence ok: {}", kind.label()),
+                Err(e) => {
+                    println!("DIFF FAILURE: batch-equivalence {}: {e}", kind.label());
+                    failures.push(Failure {
+                        label: format!("batch-equivalence-{}", kind.label()),
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
     for profile in &selected {
         let trace = generate(profile, args.seed, args.uops);
         failures.extend(soak_trace(&trace, &cfg, &args, &profile.name));

@@ -1,6 +1,7 @@
-//! Differential checks: same-input determinism and MDP-only agreement.
+//! Differential checks: same-input determinism, MDP-only agreement, and
+//! batch/scalar predictor equivalence.
 //!
-//! Two properties the rest of the repository silently relies on:
+//! Three properties the rest of the repository silently relies on:
 //!
 //! 1. **Determinism** — a trace simulated twice under the same predictor
 //!    kind must produce bit-identical [`SimStats`] and leave the predictor
@@ -11,6 +12,11 @@
 //!    that demotion (`Dependence` and `Bypass` share a training arm). Walked
 //!    in lockstep over the same lookup/train stream, the two must therefore
 //!    agree on every prediction modulo [`MemDepPrediction::demote_bypass`].
+//! 3. **Batch equivalence** — `predict_batch`/`train_batch` promise strict
+//!    sequential equivalence with per-request scalar calls; the sim issue
+//!    loop and the serve shard drain both lean on it. A scalar and a
+//!    batched instance driven over the same seeded stream must agree on
+//!    every prediction, every piece of metadata, and the final state.
 //!
 //! Predictor state is compared behaviorally: serde in this build is a
 //! vendored stub, so instead of serialising tables we clone the predictor
@@ -19,14 +25,14 @@
 //! interchangeable for any continuation of the run.
 
 use mascot::config::MascotConfig;
-use mascot::history::BranchEvent;
+use mascot::history::{BranchEvent, BranchKind};
 use mascot::mdp_only::MascotMdpOnly;
 use mascot::predictor::Mascot;
 use mascot::prediction::{
-    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, ObservedDependence,
-    StoreDistance,
+    BypassClass, GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction,
+    ObservedDependence, PredictReq, StoreDistance, TrainReq,
 };
-use mascot_predictors::{AnyPredictor, PredictorKind};
+use mascot_predictors::{AnyMeta, AnyPredictor, PredictorKind};
 use mascot_sim::{CoreConfig, SimStats, Simulator, Trace, TraceDep, UopKind};
 
 /// A divergence found by a differential check.
@@ -59,6 +65,18 @@ pub enum DiffError {
         /// MDP-only's prediction (expected `full.demote_bypass()`).
         mdp_only: MemDepPrediction,
     },
+    /// The batched predictor API diverged from sequential scalar calls.
+    BatchDiverged {
+        /// Predictor kind under test.
+        kind: PredictorKind,
+        /// Request index within the stream (or stream length for the final
+        /// state fingerprint).
+        step: usize,
+        /// Load PC of the diverging request or probe.
+        pc: u64,
+        /// What diverged (prediction, metadata, or final state).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DiffError {
@@ -82,6 +100,16 @@ impl std::fmt::Display for DiffError {
                 "mdp-only diverged from demoted MASCOT at uop {trace_idx} (pc {pc:#x}): \
                  full {full:?}, mdp-only {mdp_only:?}"
             ),
+            DiffError::BatchDiverged {
+                kind,
+                step,
+                pc,
+                detail,
+            } => write!(
+                f,
+                "batched {} diverged from scalar at request {step} (pc {pc:#x}): {detail}",
+                kind.label()
+            ),
         }
     }
 }
@@ -102,8 +130,10 @@ fn probe_pcs(trace: &Trace) -> Vec<u64> {
 }
 
 /// Asks a clone of `pred` for its prediction at every probe PC. Cloning
-/// keeps the probe itself from perturbing the compared state.
-fn fingerprint(pred: &AnyPredictor, pcs: &[u64]) -> Vec<MemDepPrediction> {
+/// keeps the probe itself from perturbing the compared state. Two
+/// predictors with equal fingerprints over the same probe set are
+/// behaviorally interchangeable for any continuation of the run.
+pub fn fingerprint(pred: &AnyPredictor, pcs: &[u64]) -> Vec<MemDepPrediction> {
     let mut probe = pred.clone();
     pcs.iter()
         .map(|&pc| probe.predict(pc, u64::MAX / 2, None).0)
@@ -209,16 +239,174 @@ pub fn check_mdp_agreement(trace: &Trace) -> Result<(), DiffError> {
         }
     }
     // Final state: after identical histories the two must still answer every
-    // probe identically (modulo demotion).
+    // probe identically (modulo demotion). One clone each for the whole
+    // probe sweep — the probes themselves may perturb the clones, but both
+    // clones see the identical probe stream, so agreement is preserved.
+    let mut full = full.clone();
+    let mut mdp = mdp.clone();
     for pc in probe_pcs(trace) {
-        let fp = full.clone().predict(pc, u64::MAX / 2, None).0;
-        let mp = mdp.clone().predict(pc, u64::MAX / 2, None).0;
+        let fp = full.predict(pc, u64::MAX / 2, None).0;
+        let mp = mdp.predict(pc, u64::MAX / 2, None).0;
         if mp != fp.demote_bypass() {
             return Err(DiffError::DemotionDisagreed {
                 trace_idx: trace.len(),
                 pc,
                 full: fp,
                 mdp_only: mp,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Drives two fresh instances of `kind` over one seeded request stream —
+/// one through scalar `predict`/`train` calls, one through
+/// `predict_batch`/`train_batch` in randomly sized chunks — and verifies
+/// the batch API's sequential-equivalence contract: identical predictions,
+/// identical metadata, and an identical final-state fingerprint.
+///
+/// The PC pool is deliberately tiny so chunks repeatedly contain the same
+/// PC (within-batch aliasing, the contract's hardest case), and branch /
+/// store-dispatch events are interleaved between chunks so history-hashed
+/// table indices keep moving.
+pub fn check_batch_equivalence(
+    kind: PredictorKind,
+    seed: u64,
+    steps: usize,
+) -> Result<(), DiffError> {
+    let mut scalar = kind.build();
+    let mut batched = kind.build();
+
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let classes = [
+        BypassClass::DirectBypass,
+        BypassClass::NoOffset,
+        BypassClass::Offset,
+        BypassClass::MdpOnly,
+    ];
+    let pcs: Vec<u64> = (0..24u64).map(|i| 0x4000 + i * 4).collect();
+
+    let mut store_seq = 0u64;
+    let mut reqs: Vec<PredictReq> = Vec::new();
+    let mut batch_out: Vec<(MemDepPrediction, AnyMeta)> = Vec::new();
+    let mut train_reqs: Vec<TrainReq<AnyMeta>> = Vec::new();
+    let mut step = 0usize;
+    while step < steps {
+        let chunk = 1 + (rng() % 13) as usize;
+        reqs.clear();
+        for _ in 0..chunk {
+            let pc = pcs[(rng() as usize) % pcs.len()];
+            let oracle = (rng() % 4 == 0)
+                .then(|| StoreDistance::new(1 + (rng() % 7) as u32))
+                .flatten()
+                .map(|distance| GroundTruth {
+                    distance,
+                    class: classes[(rng() as usize) % classes.len()],
+                });
+            reqs.push(PredictReq {
+                pc,
+                store_seq,
+                oracle,
+            });
+        }
+
+        let scalar_out: Vec<(MemDepPrediction, AnyMeta)> = reqs
+            .iter()
+            .map(|r| scalar.predict(r.pc, r.store_seq, r.oracle.as_ref()))
+            .collect();
+        batched.predict_batch(&reqs, &mut batch_out);
+        if batch_out.len() != reqs.len() {
+            return Err(DiffError::BatchDiverged {
+                kind,
+                step,
+                pc: reqs[0].pc,
+                detail: format!(
+                    "{} requests produced {} outputs",
+                    reqs.len(),
+                    batch_out.len()
+                ),
+            });
+        }
+        for (i, ((sp, sm), (bp, bm))) in scalar_out.iter().zip(&batch_out).enumerate() {
+            if bp != sp {
+                return Err(DiffError::BatchDiverged {
+                    kind,
+                    step: step + i,
+                    pc: reqs[i].pc,
+                    detail: format!("prediction {bp:?} != scalar {sp:?}"),
+                });
+            }
+            if bm != sm {
+                return Err(DiffError::BatchDiverged {
+                    kind,
+                    step: step + i,
+                    pc: reqs[i].pc,
+                    detail: format!("metadata mismatch (predictions agree on {sp:?})"),
+                });
+            }
+        }
+
+        // Train both on identical outcomes: per-call for the scalar
+        // instance, one `train_batch` for the batched one.
+        train_reqs.clear();
+        for (i, r) in reqs.iter().enumerate() {
+            let outcome = if rng() % 2 == 0 {
+                LoadOutcome::dependent(ObservedDependence {
+                    distance: StoreDistance::new(1 + (rng() % 90) as u32)
+                        .expect("non-zero distance"),
+                    class: classes[(rng() as usize) % classes.len()],
+                    store_pc: 0x9000 + (rng() % 16) * 8,
+                    branches_between: (rng() % 4) as u32,
+                })
+            } else {
+                LoadOutcome::independent()
+            };
+            let (sp, sm) = scalar_out[i];
+            scalar.train(r.pc, sm, sp, &outcome);
+            let (bp, bm) = batch_out[i];
+            train_reqs.push(TrainReq {
+                pc: r.pc,
+                meta: bm,
+                predicted: bp,
+                outcome,
+            });
+        }
+        batched.train_batch(&mut train_reqs);
+
+        // Interleave shared predictor-state events between chunks.
+        if rng() % 3 == 0 {
+            let ev = BranchEvent {
+                pc: 0x100 + (rng() % 32) * 4,
+                kind: BranchKind::Conditional,
+                taken: rng() % 2 == 0,
+                target: 0x800,
+            };
+            scalar.on_branch(&ev);
+            batched.on_branch(&ev);
+        }
+        if rng() % 2 == 0 {
+            let spc = 0x9000 + (rng() % 16) * 8;
+            scalar.on_store_dispatch(spc, store_seq);
+            batched.on_store_dispatch(spc, store_seq);
+            store_seq += 1;
+        }
+        step += chunk;
+    }
+
+    let (f1, f2) = (fingerprint(&scalar, &pcs), fingerprint(&batched, &pcs));
+    for (i, (a, b)) in f1.iter().zip(&f2).enumerate() {
+        if a != b {
+            return Err(DiffError::BatchDiverged {
+                kind,
+                step: steps,
+                pc: pcs[i],
+                detail: format!("final state: scalar answers {a:?}, batched {b:?}"),
             });
         }
     }
@@ -238,6 +426,14 @@ mod tests {
             let stats = check_determinism(&trace, &CoreConfig::golden_cove(), kind)
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             assert_eq!(stats.committed_uops, trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_every_kind() {
+        for kind in PredictorKind::ALL {
+            check_batch_equivalence(kind, 0xB47C, 2_000)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         }
     }
 

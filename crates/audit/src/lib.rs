@@ -29,6 +29,8 @@ pub mod differential;
 pub mod runner;
 pub mod shrink;
 
-pub use differential::{check_determinism, check_mdp_agreement, DiffError};
+pub use differential::{
+    check_batch_equivalence, check_determinism, check_mdp_agreement, fingerprint, DiffError,
+};
 pub use runner::{run_audited, run_audited_with, AuditFailure};
 pub use shrink::{renormalize, shrink, write_repro};

@@ -7,8 +7,11 @@
 //!   repository root (the committed baseline for future PRs).
 //! - `throughput --check` — measure and compare against the committed
 //!   baseline; exits non-zero if aggregate throughput regressed by more
-//!   than 10%. Per-row numbers are printed but not gated: single
-//!   (benchmark, predictor) cells are too noisy for a hard threshold.
+//!   than 10%, or any single predictor's suite-wide throughput by more
+//!   than 12%. Per-row numbers are printed but not gated: single
+//!   (benchmark, predictor) cells are too noisy for a hard threshold;
+//!   per-predictor aggregates pool the whole suite, which is enough signal
+//!   to catch one predictor regressing while the others mask it.
 //!
 //! Traces come from the harness-wide cache ([`mascot_bench::cached_trace`]),
 //! so each workload is generated once and shared across predictors and
@@ -36,6 +39,9 @@ const ITERS: usize = 5;
 
 /// Allowed aggregate slowdown vs the committed baseline in `--check` mode.
 const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Allowed per-predictor suite-wide slowdown in `--check` mode; looser
+/// than the aggregate gate because a third of the cells back each number.
+const PER_PREDICTOR_TOLERANCE: f64 = 0.12;
 /// Full `measure()` passes in `--check` mode; the *median* aggregate is
 /// gated. Best-of-N inside one pass still leaves pass-to-pass spread on a
 /// loaded host (one bad scheduling window taints every cell it covers);
@@ -74,6 +80,28 @@ fn measure() -> (Vec<RunResult>, f64) {
     (rows, aggregate)
 }
 
+/// Baseline JSON field name for one predictor's suite-wide throughput.
+fn predictor_field(label: &str) -> String {
+    format!("{}_uops_per_sec", label.replace('-', "_"))
+}
+
+/// Per-predictor aggregate throughput (uops over wall time, summed across
+/// the whole suite), in [`KINDS`] order.
+fn per_predictor(rows: &[RunResult]) -> Vec<(String, f64)> {
+    KINDS
+        .iter()
+        .map(|kind| {
+            let label = kind.label();
+            let (mut uops, mut secs) = (0.0f64, 0.0f64);
+            for r in rows.iter().filter(|r| r.predictor == label.as_ref()) {
+                uops += r.stats.committed_uops as f64;
+                secs += r.wall_ms / 1e3;
+            }
+            (label.into_owned(), uops / secs)
+        })
+        .collect()
+}
+
 fn render(rows: &[RunResult], aggregate: f64) -> String {
     let mut t = TextTable::new(["benchmark", "predictor", "wall", "Muops/s"]);
     for r in rows {
@@ -84,12 +112,19 @@ fn render(rows: &[RunResult], aggregate: f64) -> String {
             table::muops_per_sec(r.uops_per_sec),
         ]);
     }
-    format!(
+    let mut out = format!(
         "{}aggregate: {} Muops/s ({} uops, best of {ITERS}, seed {SEED})\n",
         t.render(),
         table::muops_per_sec(aggregate),
         UOPS
-    )
+    );
+    for (label, v) in per_predictor(rows) {
+        out.push_str(&format!(
+            "  {label}: {} Muops/s\n",
+            table::muops_per_sec(v)
+        ));
+    }
+    out
 }
 
 fn to_json(rows: &[RunResult], aggregate: f64) -> String {
@@ -103,13 +138,15 @@ fn to_json(rows: &[RunResult], aggregate: f64) -> String {
                 .float("uops_per_sec", r.uops_per_sec, 0)
         })
         .collect();
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .int("uops", UOPS as u64)
         .int("seed", SEED)
         .int("iterations", ITERS as u64)
-        .float("aggregate_uops_per_sec", aggregate, 0)
-        .rows("runs", &run_rows)
-        .render()
+        .float("aggregate_uops_per_sec", aggregate, 0);
+    for (label, v) in per_predictor(rows) {
+        obj = obj.float(&predictor_field(&label), v, 0);
+    }
+    obj.rows("runs", &run_rows).render()
 }
 
 /// Pulls `"aggregate_uops_per_sec": <number>` out of the baseline file.
@@ -157,12 +194,37 @@ fn main() {
         };
         let ratio = aggregate / base;
         println!("baseline: {} Muops/s, ratio {ratio:.3}", table::muops_per_sec(base));
+        let mut failed = false;
         if ratio < 1.0 - REGRESSION_TOLERANCE {
             eprintln!(
                 "FAIL: aggregate throughput regressed {:.1}% (> {:.0}% tolerance)",
                 (1.0 - ratio) * 100.0,
                 REGRESSION_TOLERANCE * 100.0
             );
+            failed = true;
+        }
+        for (label, v) in per_predictor(&rows) {
+            let field = predictor_field(&label);
+            let Some(base) = scan_f64_field(&baseline, &field) else {
+                // Pre-per-predictor baseline: nothing to gate against.
+                println!("  {label}: no baseline field {field}, skipping gate");
+                continue;
+            };
+            let ratio = v / base;
+            println!(
+                "  {label}: baseline {} Muops/s, ratio {ratio:.3}",
+                table::muops_per_sec(base)
+            );
+            if ratio < 1.0 - PER_PREDICTOR_TOLERANCE {
+                eprintln!(
+                    "FAIL: {label} throughput regressed {:.1}% (> {:.0}% tolerance)",
+                    (1.0 - ratio) * 100.0,
+                    PER_PREDICTOR_TOLERANCE * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
         println!("throughput check passed");

@@ -1,19 +1,18 @@
-//! The MASCOT table entry (Fig. 6).
+//! The MASCOT table entry payload (Fig. 6).
 //!
 //! Each entry is 28 bits in the default configuration: a 16-bit tag, a 7-bit
 //! store distance (0 encodes a *non-dependence*), a 3-bit usefulness counter
 //! (MDP confidence; doubles as the eviction guard) and a 2-bit bypass
-//! counter (SMB confidence).
+//! counter (SMB confidence). The tag lives in the table's struct-of-arrays
+//! tag lane; this type carries the remaining (payload) fields.
 
 use crate::prediction::StoreDistance;
-use crate::table::TaggedEntry;
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
-/// One MASCOT predictor entry.
+/// One MASCOT predictor entry payload (everything but the tag).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MascotEntry {
-    tag: u64,
     /// 0 = non-dependence; otherwise the store distance (1..=127).
     distance: u8,
     usefulness: SaturatingCounter,
@@ -25,7 +24,6 @@ impl MascotEntry {
     /// initial counters (§IV-C allocates with usefulness 6; §IV-E sets the
     /// bypass counter to 1 for bypassable conflicts, else 0).
     pub fn dependent(
-        tag: u64,
         distance: StoreDistance,
         usefulness_bits: u8,
         initial_usefulness: u8,
@@ -33,7 +31,6 @@ impl MascotEntry {
         initial_bypass: u8,
     ) -> Self {
         Self {
-            tag,
             distance: distance.get(),
             usefulness: SaturatingCounter::new(usefulness_bits, initial_usefulness),
             bypass: SaturatingCounter::new(bypass_bits, initial_bypass),
@@ -42,9 +39,8 @@ impl MascotEntry {
 
     /// Creates a *non-dependence* entry (distance 0, §IV-D), allocated with
     /// usefulness 2 in the paper's configuration.
-    pub fn non_dependent(tag: u64, usefulness_bits: u8, initial_usefulness: u8, bypass_bits: u8) -> Self {
+    pub fn non_dependent(usefulness_bits: u8, initial_usefulness: u8, bypass_bits: u8) -> Self {
         Self {
-            tag,
             distance: 0,
             usefulness: SaturatingCounter::new(usefulness_bits, initial_usefulness),
             bypass: SaturatingCounter::new(bypass_bits, 0),
@@ -111,12 +107,6 @@ impl MascotEntry {
     }
 }
 
-impl TaggedEntry for MascotEntry {
-    fn tag(&self) -> u64 {
-        self.tag
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,8 +117,7 @@ mod tests {
 
     #[test]
     fn dependent_entry_roundtrip() {
-        let e = MascotEntry::dependent(0xbeef, dist(5), 3, 6, 2, 1);
-        assert_eq!(e.tag(), 0xbeef);
+        let e = MascotEntry::dependent(dist(5), 3, 6, 2, 1);
         assert_eq!(e.distance().unwrap().get(), 5);
         assert!(!e.is_non_dependence());
         assert_eq!(e.usefulness().value(), 6);
@@ -138,7 +127,7 @@ mod tests {
 
     #[test]
     fn non_dependent_entry_has_zero_distance() {
-        let e = MascotEntry::non_dependent(0x1, 3, 2, 2);
+        let e = MascotEntry::non_dependent(3, 2, 2);
         assert!(e.is_non_dependence());
         assert_eq!(e.distance(), None);
         assert_eq!(e.usefulness().value(), 2);
@@ -147,7 +136,7 @@ mod tests {
 
     #[test]
     fn bypass_requires_both_counters_saturated() {
-        let mut e = MascotEntry::dependent(0, dist(1), 3, 7, 2, 2);
+        let mut e = MascotEntry::dependent(dist(1), 3, 7, 2, 2);
         assert!(!e.predicts_bypass(), "bypass counter at 2 of 3 must not bypass");
         e.reward_bypass();
         assert!(e.predicts_bypass());
@@ -157,7 +146,7 @@ mod tests {
 
     #[test]
     fn non_dependence_never_bypasses_even_saturated() {
-        let mut e = MascotEntry::non_dependent(0, 3, 2, 2);
+        let mut e = MascotEntry::non_dependent(3, 2, 2);
         for _ in 0..10 {
             e.reward_dependence();
             e.reward_bypass();
@@ -167,7 +156,7 @@ mod tests {
 
     #[test]
     fn evictable_only_at_zero_usefulness() {
-        let mut e = MascotEntry::dependent(0, dist(2), 3, 1, 2, 0);
+        let mut e = MascotEntry::dependent(dist(2), 3, 1, 2, 0);
         assert!(!e.is_evictable());
         e.decay();
         assert!(e.is_evictable());
@@ -175,7 +164,7 @@ mod tests {
 
     #[test]
     fn punish_bypass_resets_to_zero() {
-        let mut e = MascotEntry::dependent(0, dist(2), 3, 7, 2, 3);
+        let mut e = MascotEntry::dependent(dist(2), 3, 7, 2, 3);
         e.punish_bypass();
         assert_eq!(e.bypass().value(), 0);
     }

@@ -10,7 +10,9 @@
 //! window (each event's contribution is rotated by its age), so identical
 //! contexts always hash to identical indices regardless of when they occur.
 //! Incremental updates are O(1); after a pipeline squash the register is
-//! recomputed from the architectural event log in O(window).
+//! recomputed from the architectural event log in O(window) — or, when the
+//! squash popped only a few events, unwound push-by-push in O(popped) via
+//! [`rewind_hashers`].
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -132,6 +134,133 @@ impl GlobalHistory {
     pub fn iter(&self) -> impl Iterator<Item = &BranchEvent> {
         self.events.iter()
     }
+
+    /// Iterates retained events, newest first (age order). Recompute loops
+    /// use this instead of one bounds-checked [`Self::event_at_age`] per age.
+    #[inline]
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &BranchEvent> {
+        self.events.iter().rev()
+    }
+
+    /// The retention capacity this log was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pops and returns the newest event (squash-undo support; see
+    /// [`rewind_hashers`]).
+    pub fn pop_newest(&mut self) -> Option<BranchEvent> {
+        let ev = self.events.pop_back();
+        if ev.is_some() {
+            self.total -= 1;
+        }
+        ev
+    }
+
+    /// Detects whether replacing this log with `events` amounts to undoing
+    /// the newest `k <= max_pop` pushes, and if so returns that `k`.
+    ///
+    /// "Amounts to" is judged to fold precision: after popping `k` events,
+    /// the newest `max_window` retained events (every age any fold over
+    /// this log can see) must be identical to the replacement's, and every
+    /// window must agree on whether it is full. The caller may then invert
+    /// the last `k` [`FoldedHistory::push`]es per fold instead of
+    /// recomputing each fold from scratch. Returns `None` for any other
+    /// shape of replacement.
+    pub fn undoable_suffix(
+        &self,
+        events: &[BranchEvent],
+        max_window: u32,
+        max_pop: usize,
+    ) -> Option<usize> {
+        let new_len = events.len().min(self.capacity);
+        let len = self.events.len();
+        if new_len == 0 {
+            // Rewind to nothing: undoable only if every retained event is
+            // still present back to the first push (no ring eviction), so
+            // each inverted push sees the window fill it saw going forward.
+            return (self.total == len as u64 && len <= max_pop).then_some(len);
+        }
+        let maxw = max_window as usize;
+        let newest = events[events.len() - 1];
+        for k in 0..=max_pop.min(len) {
+            let keep = len - k;
+            if keep == 0 {
+                break;
+            }
+            // Window-fill agreement: either the logs match in length
+            // exactly, or both are deep enough that every window is full
+            // either way (the replacement may restore events this ring
+            // evicted — those sit below any fold's reach).
+            if keep != new_len && (keep < maxw || new_len < maxw) {
+                continue;
+            }
+            if self.events[keep - 1] != newest {
+                continue;
+            }
+            let depth = maxw.min(keep).min(new_len);
+            if (1..depth).all(|age| self.events[keep - 1 - age] == events[events.len() - 1 - age])
+            {
+                return Some(k);
+            }
+        }
+        None
+    }
+}
+
+/// Deepest squash the fold-undo fast path will unwind; anything deeper
+/// falls back to the full recompute. Each undone event costs four fold
+/// inversions per hasher, while the recompute folds every window from
+/// scratch, so the break-even sits well above this bound.
+const MAX_UNDO: usize = 16;
+
+/// Rewinds a history log and the table hashers folded over it to the
+/// architectural path `recent` (oldest first), as after a pipeline squash.
+///
+/// Fast path: most squash windows contain few branches (none at all for
+/// many memory-order-violation squashes, exactly one for a branch
+/// redirect, which stalls the frontend the moment it dispatches). Folding
+/// is invertible, so those cases undo one push per popped event per fold —
+/// O(popped × tables) — instead of refolding every window — O(tables ×
+/// window). Replacements that pop more than [`MAX_UNDO`] events, or that
+/// do not match a bounded undo exactly, fall back to the full recompute.
+pub fn rewind_hashers(
+    history: &mut GlobalHistory,
+    hashers: &mut [TableHasher],
+    recent: &[BranchEvent],
+) {
+    let max_window = hashers
+        .iter()
+        .map(TableHasher::history_len)
+        .max()
+        .unwrap_or(0);
+    match undo_depth(history, max_window, recent) {
+        Some(k) => {
+            for _ in 0..k {
+                let ev = history.pop_newest().expect("undo depth is within the log");
+                for hasher in hashers.iter_mut() {
+                    hasher.unbranch(history, &ev);
+                }
+            }
+            history.replace(recent);
+        }
+        None => {
+            history.replace(recent);
+            for hasher in hashers.iter_mut() {
+                hasher.recompute(history);
+            }
+        }
+    }
+}
+
+/// The undo depth for [`rewind_hashers`], if the fast path applies.
+///
+/// On top of [`GlobalHistory::undoable_suffix`], requires `max_window +
+/// k <= capacity`: while unwinding, each window-edge lookup must still be
+/// retained even though up to `k` newer slots have already been popped.
+fn undo_depth(history: &GlobalHistory, max_window: u32, recent: &[BranchEvent]) -> Option<usize> {
+    let k = history.undoable_suffix(recent, max_window, MAX_UNDO)?;
+    (max_window as usize + k <= history.capacity()).then_some(k)
 }
 
 /// A folded view of the last `window` history events, `bits` wide.
@@ -139,11 +268,49 @@ impl GlobalHistory {
 /// The folded value is `XOR over events e of rotl(chunk(e), age(e) % bits)`,
 /// a pure function of the window contents. `window == 0` always folds to 0
 /// (the zero-history table is indexed by PC alone).
+///
+/// Rotation amounts are kept pre-reduced (`window % bits` cached, ages
+/// tracked with wrapping counters) so the fold never executes a hardware
+/// divide: these registers advance on every branch for every table, and the
+/// `%` in the naive formulation dominated the history-maintenance profile.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "FoldedWire", into = "FoldedWire")]
 pub struct FoldedHistory {
     bits: u32,
     window: u32,
     reg: u64,
+    /// Cached `window % bits`: the rotation applied to outgoing chunks.
+    window_rot: u32,
+}
+
+/// Serialized image of [`FoldedHistory`]; the cached rotation constant is
+/// derived, so only the defining fields cross (de)serialization.
+#[derive(Serialize, Deserialize)]
+struct FoldedWire {
+    bits: u32,
+    window: u32,
+    reg: u64,
+}
+
+impl From<FoldedWire> for FoldedHistory {
+    fn from(w: FoldedWire) -> Self {
+        Self {
+            bits: w.bits,
+            window: w.window,
+            reg: w.reg,
+            window_rot: if w.bits == 0 { 0 } else { w.window % w.bits },
+        }
+    }
+}
+
+impl From<FoldedHistory> for FoldedWire {
+    fn from(f: FoldedHistory) -> Self {
+        Self {
+            bits: f.bits,
+            window: f.window,
+            reg: f.reg,
+        }
+    }
 }
 
 impl FoldedHistory {
@@ -158,6 +325,7 @@ impl FoldedHistory {
             bits,
             window,
             reg: 0,
+            window_rot: window % bits,
         }
     }
 
@@ -177,9 +345,10 @@ impl FoldedHistory {
         (1u64 << self.bits) - 1
     }
 
+    /// Rotate-left within `bits`; `r` must already be reduced mod `bits`.
     #[inline]
     fn rotl(&self, x: u64, r: u32) -> u64 {
-        let r = r % self.bits;
+        debug_assert!(r < self.bits, "rotation must be pre-reduced");
         let x = x & self.mask();
         if r == 0 {
             x
@@ -209,12 +378,46 @@ impl FoldedHistory {
         if self.window == 0 {
             return;
         }
-        self.reg = self.rotl(self.reg, 1);
+        self.reg = self.rotl(self.reg, u32::from(self.bits > 1));
         self.reg ^= self.squash_chunk(incoming);
         if let Some(out) = outgoing {
             let fold = self.squash_chunk(out);
-            self.reg ^= self.rotl(fold, self.window % self.bits);
+            self.reg ^= self.rotl(fold, self.window_rot);
         }
+    }
+
+    /// Exactly inverts one [`Self::push`]: `incoming` is the chunk that
+    /// push inserted (the event being popped), `outgoing` the chunk it aged
+    /// out at the time — which, after the pop, is the event back at age
+    /// `window - 1`, or `None` if the window was not yet full.
+    #[inline]
+    pub fn unpush(&mut self, incoming: u64, outgoing: Option<u64>) {
+        if self.window == 0 {
+            return;
+        }
+        let mut reg = self.reg ^ self.squash_chunk(incoming);
+        if let Some(out) = outgoing {
+            reg ^= self.rotl(self.squash_chunk(out), self.window_rot);
+        }
+        // Inverse of push's leading rotl-by-one.
+        self.reg = if self.bits > 1 {
+            ((reg >> 1) | (reg << (self.bits - 1))) & self.mask()
+        } else {
+            reg & self.mask()
+        };
+    }
+
+    /// Clears the register ahead of an accumulate-style recompute.
+    #[inline]
+    fn reset(&mut self) {
+        self.reg = 0;
+    }
+
+    /// Folds one event in during a recompute; `rot` must equal
+    /// `age % bits` for the event's age.
+    #[inline]
+    fn accumulate(&mut self, chunk: u64, rot: u32) {
+        self.reg ^= self.rotl(self.squash_chunk(chunk), rot);
     }
 
     /// Rebuilds the fold from scratch against a history log (used after a
@@ -227,12 +430,14 @@ impl FoldedHistory {
         if self.window == 0 {
             return;
         }
-        for age in 0..(self.window as usize).min(history.len()) {
-            let ev = history
-                .event_at_age(age)
-                .expect("age < len implies presence");
-            let fold = self.squash_chunk(chunk_of(ev));
-            self.reg ^= self.rotl(fold, age as u32 % self.bits);
+        let n = (self.window as usize).min(history.len());
+        let mut rot = 0u32;
+        for ev in history.iter_newest_first().take(n) {
+            self.accumulate(chunk_of(ev), rot);
+            rot += 1;
+            if rot == self.bits {
+                rot = 0;
+            }
         }
     }
 }
@@ -289,37 +494,88 @@ impl TableHasher {
     /// state *before* the event is pushed into it (so outgoing events can be
     /// located), in the same order for every hasher sharing the log.
     pub fn on_branch(&mut self, history_before_push: &GlobalHistory, event: &BranchEvent) {
-        let out_dir = |window: u32| -> Option<u64> {
+        let outgoing = |window: u32| -> Option<&BranchEvent> {
             if window == 0 {
                 return None;
             }
-            history_before_push
-                .event_at_age(window as usize - 1)
-                .map(BranchEvent::chunk)
+            history_before_push.event_at_age(window as usize - 1)
         };
-        let out_path = |window: u32| -> Option<u64> {
-            if window == 0 {
-                return None;
-            }
-            history_before_push
-                .event_at_age(window as usize - 1)
-                .map(BranchEvent::path_chunk)
-        };
-        let dir_chunk = event.chunk();
-        self.index_fold.push(dir_chunk, out_dir(self.history_len));
-        self.tag_fold_a.push(dir_chunk, out_dir(self.history_len));
-        self.tag_fold_b.push(dir_chunk, out_dir(self.history_len));
+        // One log lookup shared by the three direction folds (they age out
+        // the same event); the path fold may use a shorter window.
+        let out_dir = outgoing(self.history_len).map(BranchEvent::chunk);
         let path_window = self.history_len.min(PATH_WINDOW);
-        self.path_fold
-            .push(event.path_chunk(), out_path(path_window));
+        let out_path = outgoing(path_window).map(BranchEvent::path_chunk);
+        let dir_chunk = event.chunk();
+        self.index_fold.push(dir_chunk, out_dir);
+        self.tag_fold_a.push(dir_chunk, out_dir);
+        self.tag_fold_b.push(dir_chunk, out_dir);
+        self.path_fold.push(event.path_chunk(), out_path);
+    }
+
+    /// Exactly inverts one [`Self::on_branch`] for `event`, the newest
+    /// event at the time, against the history log with that event already
+    /// popped (so outgoing chunks can be located at their window edges).
+    pub fn unbranch(&mut self, history_after_pop: &GlobalHistory, event: &BranchEvent) {
+        let outgoing = |window: u32| -> Option<&BranchEvent> {
+            if window == 0 {
+                return None;
+            }
+            history_after_pop.event_at_age(window as usize - 1)
+        };
+        let out_dir = outgoing(self.history_len).map(BranchEvent::chunk);
+        let path_window = self.history_len.min(PATH_WINDOW);
+        let out_path = outgoing(path_window).map(BranchEvent::path_chunk);
+        let dir_chunk = event.chunk();
+        self.index_fold.unpush(dir_chunk, out_dir);
+        self.tag_fold_a.unpush(dir_chunk, out_dir);
+        self.tag_fold_b.unpush(dir_chunk, out_dir);
+        self.path_fold.unpush(event.path_chunk(), out_path);
     }
 
     /// Rebuilds all folds from the (already rewound) history log.
+    ///
+    /// Fused: one pass over the events feeds all four folds, so each event
+    /// is located and chunked once instead of once per fold. Equivalent to
+    /// recomputing each fold independently (the fold is a pure function of
+    /// the window contents), which `hasher_recompute_matches_incremental`
+    /// pins.
     pub fn recompute(&mut self, history: &GlobalHistory) {
-        self.index_fold.recompute(history, BranchEvent::chunk);
-        self.tag_fold_a.recompute(history, BranchEvent::chunk);
-        self.tag_fold_b.recompute(history, BranchEvent::chunk);
-        self.path_fold.recompute(history, BranchEvent::path_chunk);
+        self.index_fold.reset();
+        self.tag_fold_a.reset();
+        self.tag_fold_b.reset();
+        self.path_fold.reset();
+        let dir_n = (self.history_len as usize).min(history.len());
+        let path_n = (self.history_len.min(PATH_WINDOW) as usize).min(history.len());
+        // The path fold shares the index fold's width (see `new`), so one
+        // wrap counter serves both.
+        debug_assert_eq!(self.path_fold.bits, self.index_fold.bits);
+        let (bi, ba, bb) = (
+            self.index_fold.bits,
+            self.tag_fold_a.bits,
+            self.tag_fold_b.bits,
+        );
+        let (mut ri, mut ra, mut rb) = (0u32, 0u32, 0u32);
+        for (age, ev) in history.iter_newest_first().take(dir_n).enumerate() {
+            let chunk = ev.chunk();
+            self.index_fold.accumulate(chunk, ri);
+            self.tag_fold_a.accumulate(chunk, ra);
+            self.tag_fold_b.accumulate(chunk, rb);
+            if age < path_n {
+                self.path_fold.accumulate(ev.path_chunk(), ri);
+            }
+            ri += 1;
+            if ri == bi {
+                ri = 0;
+            }
+            ra += 1;
+            if ra == ba {
+                ra = 0;
+            }
+            rb += 1;
+            if rb == bb {
+                rb = 0;
+            }
+        }
     }
 
     /// The set index for `pc` under the current history.
@@ -478,6 +734,141 @@ mod tests {
         assert_ne!(fa.value(), fb.value());
     }
 
+    /// `unpush` must be the exact inverse of `push` at every step of a
+    /// mixed event stream.
+    #[test]
+    fn unpush_inverts_push() {
+        let window = 6u32;
+        let mut hist = GlobalHistory::new(64);
+        let mut fold = FoldedHistory::new(9, window);
+        for i in 0..50u64 {
+            let ev = if i % 4 == 0 {
+                indirect(i * 4, 0x2000 + i * 36)
+            } else {
+                cond(i * 4, (i * 3) % 5 < 2)
+            };
+            let outgoing = hist
+                .event_at_age(window as usize - 1)
+                .map(BranchEvent::chunk);
+            let before = fold.value();
+            fold.push(ev.chunk(), outgoing);
+            // Invert against the same pre-push log state.
+            let mut undone = fold.clone();
+            undone.unpush(ev.chunk(), outgoing);
+            assert_eq!(undone.value(), before, "unpush failed at step {i}");
+            hist.push(ev);
+        }
+    }
+
+    /// The squash fast path (undo one push) must land every hasher on the
+    /// same state as a replace + full recompute, through window fill,
+    /// saturation and ring eviction.
+    #[test]
+    fn rewind_one_event_matches_recompute() {
+        let mk = || {
+            vec![
+                TableHasher::new(0, 7, 16),
+                TableHasher::new(4, 7, 15),
+                TableHasher::new(12, 6, 14),
+                TableHasher::new(24, 7, 16),
+            ]
+        };
+        let mut hist = GlobalHistory::new(48);
+        let mut hashers = mk();
+        let mut log: Vec<BranchEvent> = Vec::new();
+        for i in 0..120u64 {
+            let ev = if i % 6 == 0 {
+                indirect(i * 4, 0x3000 + i * 20)
+            } else {
+                cond(i * 4, (i * 11) % 7 < 3)
+            };
+            for h in &mut hashers {
+                h.on_branch(&hist, &ev);
+            }
+            hist.push(ev);
+            log.push(ev);
+            // Squash: rewind to the log minus the event just pushed.
+            let recent = &log[..log.len() - 1];
+            let mut fast_hist = hist.clone();
+            let mut fast = hashers.clone();
+            rewind_hashers(&mut fast_hist, &mut fast, recent);
+            assert_eq!(
+                hist.undoable_suffix(recent, 24, MAX_UNDO),
+                Some(1),
+                "single-pop rewind must take the fast path at step {i}"
+            );
+            let mut slow_hist = hist.clone();
+            slow_hist.replace(recent);
+            let mut slow = mk();
+            for h in &mut slow {
+                h.recompute(&slow_hist);
+            }
+            for (t, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                for pc in [0x40_0000u64, 0x1234_5678] {
+                    assert_eq!(f.index(pc), s.index(pc), "index, table {t}, step {i}");
+                    assert_eq!(f.tag(pc), s.tag(pc), "tag, table {t}, step {i}");
+                }
+            }
+            assert_eq!(fast_hist.len(), slow_hist.len(), "step {i}");
+        }
+    }
+
+    /// Multi-event rewinds up to [`MAX_UNDO`] deep must take the fast path
+    /// and land on the recompute's state; deeper ones must decline it —
+    /// and both must agree with a from-scratch rebuild.
+    #[test]
+    fn rewind_any_depth_matches_recompute() {
+        let mut hist = GlobalHistory::new(64);
+        let mut hashers = vec![TableHasher::new(8, 7, 16), TableHasher::new(16, 7, 14)];
+        let mut log: Vec<BranchEvent> = Vec::new();
+        for i in 0..48u64 {
+            let ev = if i % 6 == 0 {
+                indirect(i * 4, 0x5000 + i * 28)
+            } else {
+                cond(i * 4, (i * 5) % 3 == 0)
+            };
+            for h in &mut hashers {
+                h.on_branch(&hist, &ev);
+            }
+            hist.push(ev);
+            log.push(ev);
+        }
+        for pop in [0usize, 3, MAX_UNDO, MAX_UNDO + 4] {
+            let recent = &log[..log.len() - pop];
+            let expect = (pop <= MAX_UNDO).then_some(pop);
+            assert_eq!(
+                hist.undoable_suffix(recent, 16, MAX_UNDO),
+                expect,
+                "undo depth, pop {pop}"
+            );
+            let mut fast_hist = hist.clone();
+            let mut fast = hashers.clone();
+            rewind_hashers(&mut fast_hist, &mut fast, recent);
+            let mut scratch_hist = GlobalHistory::new(64);
+            scratch_hist.replace(recent);
+            for (t, &(hist_len, idx_bits, tag_bits)) in
+                [(8u32, 7u32, 16u32), (16, 7, 14)].iter().enumerate()
+            {
+                let mut scratch = TableHasher::new(hist_len, idx_bits, tag_bits);
+                scratch.recompute(&scratch_hist);
+                assert_eq!(fast[t].index(0xabcd0), scratch.index(0xabcd0), "pop {pop}");
+                assert_eq!(fast[t].tag(0xabcd0), scratch.tag(0xabcd0), "pop {pop}");
+            }
+        }
+    }
+
+    /// Replacing with a longer log than capacity keeps only the newest
+    /// events.
+    #[test]
+    fn replace_truncates_to_capacity() {
+        let mut h = GlobalHistory::new(4);
+        let events: Vec<BranchEvent> = (0..10u64).map(|i| cond(i * 4, true)).collect();
+        h.replace(&events);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.event_at_age(0).unwrap().pc, 36);
+        assert_eq!(h.event_at_age(3).unwrap().pc, 24);
+    }
+
     #[test]
     fn hasher_zero_history_is_pc_only() {
         let mut hist = GlobalHistory::new(64);
@@ -585,15 +976,19 @@ mod tests {
         assert_ne!(build(0x1000), build(0x1004));
     }
 
-    /// Replacing with a longer log than capacity keeps only the newest
-    /// events.
+    /// A (de)serialization round-trip must reconstruct the cached rotation
+    /// state exactly (it is derived, not serialized — see [`FoldedWire`]).
     #[test]
-    fn replace_truncates_to_capacity() {
-        let mut h = GlobalHistory::new(4);
-        let events: Vec<BranchEvent> = (0..10u64).map(|i| cond(i * 4, true)).collect();
-        h.replace(&events);
-        assert_eq!(h.len(), 4);
-        assert_eq!(h.event_at_age(0).unwrap().pc, 36);
-        assert_eq!(h.event_at_age(3).unwrap().pc, 24);
+    fn folded_history_wire_round_trip() {
+        let mut f = FoldedHistory::new(9, 7);
+        let mut hist = GlobalHistory::new(64);
+        for i in 0..20u64 {
+            let ev = cond(i * 4, i % 3 == 0);
+            let outgoing = hist.event_at_age(6).map(BranchEvent::chunk);
+            f.push(ev.chunk(), outgoing);
+            hist.push(ev);
+        }
+        let back = FoldedHistory::from(FoldedWire::from(f.clone()));
+        assert_eq!(back, f);
     }
 }

@@ -42,8 +42,8 @@
 //! * [`config::MascotConfig`] — geometry presets: the default 14 KiB
 //!   configuration, MASCOT-OPT and the Fig. 15 tag-reduction sweep.
 //! * [`history`] — global branch/path history and TAGE folded registers.
-//! * [`table`] — the generic 4-way associative tagged table (shared with
-//!   the baseline predictors).
+//! * [`table`] — the generic 4-way associative tagged table in
+//!   struct-of-arrays layout (shared with the baseline predictors).
 //! * [`tuning`] — §IV-F per-slot F1 instrumentation (Figs. 13–14).
 //! * [`prediction`] — the [`MemDepPredictor`] trait and shared vocabulary
 //!   types used by the simulator and every baseline predictor.
@@ -62,11 +62,13 @@ pub mod tuning;
 
 pub use config::{ConfigError, MascotConfig};
 pub use entry::MascotEntry;
-pub use history::{BranchEvent, BranchKind, FoldedHistory, GlobalHistory, TableHasher};
+pub use history::{
+    rewind_hashers, BranchEvent, BranchKind, FoldedHistory, GlobalHistory, TableHasher,
+};
 pub use mdp_only::MascotMdpOnly;
 pub use prediction::{
     BypassClass, GroundTruth, LoadOutcome, MemDepPrediction, MemDepPredictor,
-    ObservedDependence, StoreDistance,
+    ObservedDependence, PredictReq, StoreDistance, TrainReq,
 };
 pub use predictor::{Mascot, MascotMeta, MascotStats};
 pub use tuning::TuningState;

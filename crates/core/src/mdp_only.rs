@@ -2,7 +2,9 @@
 //! every bypass prediction is demoted to a plain dependence.
 
 use crate::history::BranchEvent;
-use crate::prediction::{GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction};
+use crate::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, PredictReq,
+};
 use crate::predictor::{Mascot, MascotMeta};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +49,17 @@ impl MascotMdpOnly {
     pub fn inner(&self) -> &Mascot {
         &self.inner
     }
+
+    /// Batched probe: [`Mascot::predict_batch_into`] with every prediction
+    /// demoted before it reaches the sink.
+    pub fn predict_batch_into(
+        &mut self,
+        reqs: &[PredictReq],
+        mut sink: impl FnMut(MemDepPrediction, MascotMeta),
+    ) {
+        self.inner
+            .predict_batch_into(reqs, |p, m| sink(p.demote_bypass(), m));
+    }
 }
 
 impl MemDepPredictor for MascotMdpOnly {
@@ -64,6 +77,16 @@ impl MemDepPredictor for MascotMdpOnly {
     ) -> (MemDepPrediction, MascotMeta) {
         let (pred, meta) = self.inner.predict(pc, store_seq, oracle);
         (pred.demote_bypass(), meta)
+    }
+
+    fn predict_batch(
+        &mut self,
+        reqs: &[PredictReq],
+        out: &mut Vec<(MemDepPrediction, Self::Meta)>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        self.predict_batch_into(reqs, |p, m| out.push((p, m)));
     }
 
     fn train(

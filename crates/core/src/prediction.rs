@@ -189,6 +189,33 @@ pub struct GroundTruth {
     pub class: BypassClass,
 }
 
+/// One prediction request of a batch (see
+/// [`MemDepPredictor::predict_batch`]). Mirrors the arguments of
+/// [`MemDepPredictor::predict`] exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictReq {
+    /// Load PC.
+    pub pc: u64,
+    /// Count of stores dispatched before this load.
+    pub store_seq: u64,
+    /// Trace-level ground truth, read only by the §VI oracles.
+    pub oracle: Option<GroundTruth>,
+}
+
+/// One training record of a batch (see [`MemDepPredictor::train_batch`]).
+/// Mirrors the arguments of [`MemDepPredictor::train`] exactly.
+#[derive(Debug)]
+pub struct TrainReq<M> {
+    /// Load PC.
+    pub pc: u64,
+    /// The metadata returned by the matching predict call.
+    pub meta: M,
+    /// The prediction that was acted upon.
+    pub predicted: MemDepPrediction,
+    /// The observed commit-time outcome.
+    pub outcome: LoadOutcome,
+}
+
 /// A memory-dependence / bypassing predictor as seen by the simulator.
 ///
 /// One `predict` call is made per dynamic load (at decode, per Fig. 4) and
@@ -217,6 +244,28 @@ pub trait MemDepPredictor {
         oracle: Option<&GroundTruth>,
     ) -> (MemDepPrediction, Self::Meta);
 
+    /// Predicts for a micro-batch of loads, appending one
+    /// `(prediction, meta)` pair per request — **in request order** — to
+    /// `out` (which is cleared first).
+    ///
+    /// The contract is strict sequential equivalence: the results, metas and
+    /// post-call predictor state must be identical to calling
+    /// [`Self::predict`] once per request in order. The default
+    /// implementation is exactly that scalar loop; predictors whose
+    /// `predict` does not write table state (MASCOT) override it with a
+    /// table-major sweep that probes each table once for the whole batch.
+    fn predict_batch(
+        &mut self,
+        reqs: &[PredictReq],
+        out: &mut Vec<(MemDepPrediction, Self::Meta)>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        for req in reqs {
+            out.push(self.predict(req.pc, req.store_seq, req.oracle.as_ref()));
+        }
+    }
+
     /// Trains the predictor at commit with the observed outcome.
     fn train(
         &mut self,
@@ -225,6 +274,20 @@ pub trait MemDepPredictor {
         predicted: MemDepPrediction,
         outcome: &LoadOutcome,
     );
+
+    /// Trains on a micro-batch of commit records, draining `reqs`.
+    ///
+    /// Same sequential-equivalence contract as [`Self::predict_batch`]:
+    /// behaviour must match calling [`Self::train`] once per record in
+    /// order (training mutates table state, so the records are applied
+    /// strictly in sequence). The default implementation is that loop;
+    /// `reqs` is drained rather than consumed so callers can recycle the
+    /// buffer allocation.
+    fn train_batch(&mut self, reqs: &mut Vec<TrainReq<Self::Meta>>) {
+        for req in reqs.drain(..) {
+            self.train(req.pc, req.meta, req.predicted, &req.outcome);
+        }
+    }
 
     /// Notifies the predictor of a committed-path branch (decode order).
     fn on_branch(&mut self, event: &BranchEvent);

@@ -15,9 +15,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::MascotConfig;
 use crate::entry::MascotEntry;
-use crate::history::{BranchEvent, GlobalHistory, TableHasher};
+use crate::history::{rewind_hashers, BranchEvent, GlobalHistory, TableHasher};
 use crate::prediction::{
-    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, PredictReq, StoreDistance,
 };
 use crate::table::AssocTable;
 use crate::tuning::TuningState;
@@ -115,6 +115,18 @@ pub struct Mascot {
     allocate_non_dependencies: bool,
     /// Updates since the last periodic decay (when enabled).
     updates_since_decay: u32,
+    /// Scratch for the table-major batched probe (not part of the
+    /// architectural state).
+    #[serde(skip, default)]
+    batch_scratch: Vec<BatchSlot>,
+}
+
+/// Per-request scratch state for [`Mascot::predict_batch_into`].
+#[derive(Debug, Clone)]
+struct BatchSlot {
+    meta: MascotMeta,
+    prediction: MemDepPrediction,
+    resolved: bool,
 }
 
 impl Mascot {
@@ -133,8 +145,11 @@ impl Mascot {
                 cfg.num_tables()
             )));
         }
+        // The fill payload seeds the SoA data lane; it is never read while
+        // a way's tag is invalid.
+        let fill = MascotEntry::non_dependent(cfg.usefulness_bits, 0, cfg.bypass_bits);
         let tables: Vec<_> = (0..cfg.num_tables())
-            .map(|i| AssocTable::new(cfg.sets(i), cfg.associativity as usize))
+            .map(|i| AssocTable::new(cfg.sets(i), cfg.associativity as usize, fill.clone()))
             .collect();
         let hashers: Vec<_> = (0..cfg.num_tables())
             .map(|i| {
@@ -162,6 +177,7 @@ impl Mascot {
             stats,
             allocate_non_dependencies: true,
             updates_since_decay: 0,
+            batch_scratch: Vec::new(),
         })
     }
 
@@ -260,21 +276,16 @@ impl Mascot {
         }
         self.updates_since_decay = 0;
         for table in &mut self.tables {
-            for set in 0..table.sets() as u64 {
-                for slot in table.set_mut(set).iter_mut().flatten() {
-                    slot.decay();
-                }
-            }
+            table.for_each_valid_slot_mut(|_, _, e| e.decay());
         }
     }
 
-    fn build_entry(&self, proto: EntryProto, tag: u64) -> MascotEntry {
+    fn build_entry(&self, proto: EntryProto) -> MascotEntry {
         match proto {
             EntryProto::Dependent {
                 distance,
                 bypassable,
             } => MascotEntry::dependent(
-                tag,
                 distance,
                 self.cfg.usefulness_bits,
                 self.cfg.dep_alloc_usefulness,
@@ -282,7 +293,6 @@ impl Mascot {
                 u8::from(bypassable),
             ),
             EntryProto::NonDependent => MascotEntry::non_dependent(
-                tag,
                 self.cfg.usefulness_bits,
                 self.cfg.nondep_alloc_usefulness,
                 self.cfg.bypass_bits,
@@ -297,9 +307,13 @@ impl Mascot {
     fn allocate(&mut self, meta: &MascotMeta, start_table: usize, proto: EntryProto) {
         for t in start_table..self.tables.len() {
             let lk = meta.lookup(t);
-            let entry = self.build_entry(proto, u64::from(lk.tag));
-            match self.tables[t].try_insert(u64::from(lk.index), entry, MascotEntry::is_evictable)
-            {
+            let entry = self.build_entry(proto);
+            match self.tables[t].try_insert(
+                u64::from(lk.index),
+                u64::from(lk.tag),
+                entry,
+                MascotEntry::is_evictable,
+            ) {
                 Some(_way) => {
                     match proto {
                         EntryProto::Dependent { .. } => self.stats.dep_allocations += 1,
@@ -309,13 +323,64 @@ impl Mascot {
                 }
                 None => {
                     self.stats.allocation_failures += 1;
-                    for e in self.tables[t].set_mut(u64::from(lk.index)).iter_mut().flatten() {
-                        e.decay();
-                    }
+                    self.tables[t].for_each_valid_mut(u64::from(lk.index), |_, e| e.decay());
                 }
             }
         }
         self.stats.allocations_dropped += 1;
+    }
+
+    /// Table-major batched probe: computes every request's lookups up front,
+    /// then sweeps each table once — longest history first — across all
+    /// still-unresolved requests, so a batch makes one pass over each tag
+    /// lane instead of N dependent random walks.
+    ///
+    /// Behaviourally identical to calling [`MemDepPredictor::predict`] per
+    /// request in order: `predict` never writes the tables (only the
+    /// commutative stats counters), so probe order cannot change any
+    /// prediction, and results are emitted to `sink` in request order.
+    pub fn predict_batch_into(
+        &mut self,
+        reqs: &[PredictReq],
+        mut sink: impl FnMut(MemDepPrediction, MascotMeta),
+    ) {
+        let mut slots = std::mem::take(&mut self.batch_scratch);
+        slots.clear();
+        for req in reqs {
+            let (lookups, num_tables) = self.compute_lookups(req.pc);
+            slots.push(BatchSlot {
+                meta: MascotMeta {
+                    lookups,
+                    num_tables,
+                    provider: None,
+                    provider_way: 0,
+                },
+                prediction: MemDepPrediction::NoDependence,
+                resolved: false,
+            });
+        }
+        for t in (0..self.tables.len()).rev() {
+            let table = &self.tables[t];
+            let mut hits = 0u64;
+            for slot in slots.iter_mut().filter(|s| !s.resolved) {
+                let lk = slot.meta.lookups[t];
+                if let Some((way, entry)) = table.find(u64::from(lk.index), u64::from(lk.tag)) {
+                    slot.meta.provider = Some(t as u8);
+                    slot.meta.provider_way = way as u8;
+                    slot.prediction = Self::entry_prediction(entry);
+                    slot.resolved = true;
+                    hits += 1;
+                }
+            }
+            self.stats.table_predictions[t] += hits;
+        }
+        for slot in &slots {
+            if !slot.resolved {
+                self.stats.base_predictions += 1;
+            }
+            sink(slot.prediction, slot.meta);
+        }
+        self.batch_scratch = slots;
     }
 }
 
@@ -363,6 +428,16 @@ impl MemDepPredictor for Mascot {
                 provider_way,
             },
         )
+    }
+
+    fn predict_batch(
+        &mut self,
+        reqs: &[PredictReq],
+        out: &mut Vec<(MemDepPrediction, Self::Meta)>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        self.predict_batch_into(reqs, |p, m| out.push((p, m)));
     }
 
     fn train(
@@ -467,10 +542,7 @@ impl MemDepPredictor for Mascot {
     }
 
     fn rewind_history(&mut self, recent: &[BranchEvent]) {
-        self.history.replace(recent);
-        for hasher in &mut self.hashers {
-            hasher.recompute(&self.history);
-        }
+        rewind_hashers(&mut self.history, &mut self.hashers, recent);
     }
 
     fn bypass_supports_offset(&self) -> bool {

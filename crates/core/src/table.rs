@@ -1,59 +1,75 @@
-//! Set-associative tagged prediction tables.
+//! Set-associative tagged prediction tables, stored struct-of-arrays.
 //!
 //! MASCOT's tables are 4-way associative "to tolerate some conflicts between
 //! entries with the same index" (§IV-B). The same structure backs PHAST and
-//! NoSQ in the baselines crate, so the container is generic over the entry
+//! NoSQ in the baselines crate, so the container is generic over the payload
 //! type; replacement *policy* stays with each predictor.
+//!
+//! # Layout
+//!
+//! Tags and payloads live in two parallel flat vectors indexed by
+//! `slot_id = set * assoc + way`. A probe therefore scans a small contiguous
+//! run of `u64` tags — same-typed memory the compiler can compare with wide
+//! loads — and touches the payload array only on a hit. The previous
+//! array-of-`Option<Entry>` layout interleaved tag, counters and the `Option`
+//! discriminant, so every tag compare dragged the whole entry through the
+//! cache and defeated autovectorization.
+//!
+//! An invalid (never-allocated) way is encoded by the sentinel tag
+//! [`INVALID_TAG`]. Real tags are partial-width (≤ 22 bits everywhere in this
+//! workspace), so the sentinel is unreachable by construction.
 
 use serde::{Deserialize, Serialize};
 
-/// An entry that can be matched by tag within a set.
-pub trait TaggedEntry {
-    /// The entry's partial tag.
-    fn tag(&self) -> u64;
-}
-
-/// A set-associative table of optional tagged entries.
+/// Tag value marking an invalid (empty) way.
 ///
-/// Slots are `Option<E>`: `None` is an invalid (never-allocated) way.
+/// Safe as a sentinel because every producer masks tags to well under 64
+/// bits (`TableHasher` masks to `tag_bits`; NoSQ's widest tag is 22 bits).
+pub const INVALID_TAG: u64 = u64::MAX;
+
+/// A set-associative table of tagged payloads in struct-of-arrays layout.
 ///
 /// # Examples
 ///
 /// ```
-/// use mascot::table::{AssocTable, TaggedEntry};
+/// use mascot::table::AssocTable;
 ///
-/// #[derive(Debug, Clone)]
-/// struct E { tag: u64, payload: u32 }
-/// impl TaggedEntry for E { fn tag(&self) -> u64 { self.tag } }
-///
-/// let mut t: AssocTable<E> = AssocTable::new(16, 4);
+/// let mut t: AssocTable<u32> = AssocTable::new(16, 4, 0);
 /// assert!(t.find(3, 0x7).is_none());
-/// t.try_insert(3, E { tag: 0x7, payload: 9 }, |_| false).unwrap();
-/// assert_eq!(t.find(3, 0x7).unwrap().1.payload, 9);
+/// t.try_insert(3, 0x7, 9, |_| false).unwrap();
+/// assert_eq!(*t.find(3, 0x7).unwrap().1, 9);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct AssocTable<E> {
+pub struct AssocTable<P> {
     sets: usize,
     assoc: usize,
-    slots: Vec<Option<E>>,
+    /// One tag per slot; [`INVALID_TAG`] marks an empty way.
+    tags: Vec<u64>,
+    /// One payload per slot; meaningful only where the tag is valid.
+    data: Vec<P>,
 }
 
-impl<E: TaggedEntry> AssocTable<E> {
-    /// Creates an empty table with `sets` sets of `assoc` ways.
+impl<P: Clone> AssocTable<P> {
+    /// Creates an empty table with `sets` sets of `assoc` ways. `fill` seeds
+    /// the payload array (its value is never observed while a way is
+    /// invalid; pass any cheaply-cloned instance).
     ///
     /// # Panics
     ///
     /// Panics if `sets` is not a power of two or `assoc` is zero.
-    pub fn new(sets: usize, assoc: usize) -> Self {
+    pub fn new(sets: usize, assoc: usize, fill: P) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(assoc > 0, "associativity must be non-zero");
         Self {
             sets,
             assoc,
-            slots: (0..sets * assoc).map(|_| None).collect(),
+            tags: vec![INVALID_TAG; sets * assoc],
+            data: vec![fill; sets * assoc],
         }
     }
+}
 
+impl<P> AssocTable<P> {
     /// Number of sets.
     pub fn sets(&self) -> usize {
         self.sets
@@ -66,7 +82,7 @@ impl<E: TaggedEntry> AssocTable<E> {
 
     /// Total slot count (`sets * assoc`).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.tags.len()
     }
 
     /// `log2(sets)`, the number of index bits this table consumes.
@@ -83,88 +99,145 @@ impl<E: TaggedEntry> AssocTable<E> {
     }
 
     #[inline]
-    fn set_range(&self, index: u64) -> std::ops::Range<usize> {
-        let base = (index as usize & (self.sets - 1)) * self.assoc;
-        base..base + self.assoc
+    fn set_base(&self, index: u64) -> usize {
+        (index as usize & (self.sets - 1)) * self.assoc
     }
 
-    /// Finds the entry with `tag` in set `index`.
+    /// The way in set `index` holding `tag`, if any. Touches only the
+    /// contiguous tag lane — the cheapest possible probe.
     #[inline]
-    pub fn find(&self, index: u64, tag: u64) -> Option<(usize, &E)> {
-        let range = self.set_range(index);
-        self.slots[range]
+    pub fn way_of(&self, index: u64, tag: u64) -> Option<usize> {
+        let base = self.set_base(index);
+        self.tags[base..base + self.assoc]
             .iter()
-            .enumerate()
-            .find_map(|(way, slot)| match slot {
-                Some(e) if e.tag() == tag => Some((way, e)),
-                _ => None,
-            })
+            .position(|&t| t == tag)
+    }
+
+    /// Finds the payload with `tag` in set `index`.
+    #[inline]
+    pub fn find(&self, index: u64, tag: u64) -> Option<(usize, &P)> {
+        let way = self.way_of(index, tag)?;
+        Some((way, &self.data[self.set_base(index) + way]))
     }
 
     /// Mutable variant of [`Self::find`].
     #[inline]
-    pub fn find_mut(&mut self, index: u64, tag: u64) -> Option<(usize, &mut E)> {
-        let range = self.set_range(index);
-        self.slots[range]
-            .iter_mut()
-            .enumerate()
-            .find_map(|(way, slot)| match slot {
-                Some(e) if e.tag() == tag => Some((way, e)),
-                _ => None,
-            })
+    pub fn find_mut(&mut self, index: u64, tag: u64) -> Option<(usize, &mut P)> {
+        let way = self.way_of(index, tag)?;
+        let base = self.set_base(index);
+        Some((way, &mut self.data[base + way]))
     }
 
-    /// Immutable view of one set's ways.
-    pub fn set(&self, index: u64) -> &[Option<E>] {
-        &self.slots[self.set_range(index)]
+    /// True when way `way` of set `index` holds a live entry.
+    #[inline]
+    pub fn is_valid(&self, index: u64, way: usize) -> bool {
+        self.tags[self.set_base(index) + way] != INVALID_TAG
     }
 
-    /// Mutable view of one set's ways (for custom replacement policies).
-    pub fn set_mut(&mut self, index: u64) -> &mut [Option<E>] {
-        let range = self.set_range(index);
-        &mut self.slots[range]
+    /// The tags of one set's ways ([`INVALID_TAG`] where empty).
+    #[inline]
+    pub fn set_tags(&self, index: u64) -> &[u64] {
+        let base = self.set_base(index);
+        &self.tags[base..base + self.assoc]
     }
 
-    /// Inserts `entry` into set `index`, preferring an invalid way, then the
-    /// first way for which `replaceable` returns true. Returns the way used,
-    /// or `None` (entry dropped) if the set is full of irreplaceable entries.
-    pub fn try_insert<F>(&mut self, index: u64, entry: E, replaceable: F) -> Option<usize>
+    /// The payload of `(index, way)`, valid or not.
+    #[inline]
+    pub fn payload(&self, index: u64, way: usize) -> &P {
+        &self.data[self.set_base(index) + way]
+    }
+
+    /// Mutable payload of `(index, way)`, valid or not.
+    #[inline]
+    pub fn payload_mut(&mut self, index: u64, way: usize) -> &mut P {
+        let base = self.set_base(index);
+        &mut self.data[base + way]
+    }
+
+    /// Writes `(tag, payload)` into way `way` of set `index`, claiming the
+    /// slot whether or not it was valid.
+    #[inline]
+    pub fn insert_at(&mut self, index: u64, way: usize, tag: u64, payload: P) {
+        debug_assert_ne!(tag, INVALID_TAG, "real tags never equal the sentinel");
+        let base = self.set_base(index);
+        self.tags[base + way] = tag;
+        self.data[base + way] = payload;
+    }
+
+    /// Invalidates way `way` of set `index` (payload left in place, unread).
+    #[inline]
+    pub fn invalidate(&mut self, index: u64, way: usize) {
+        let base = self.set_base(index);
+        self.tags[base + way] = INVALID_TAG;
+    }
+
+    /// Inserts `(tag, payload)` into set `index`, preferring an invalid way,
+    /// then the first way whose payload `replaceable` accepts. Returns the
+    /// way used, or `None` (entry dropped) if the set is full of
+    /// irreplaceable entries.
+    pub fn try_insert<F>(&mut self, index: u64, tag: u64, payload: P, replaceable: F) -> Option<usize>
     where
-        F: Fn(&E) -> bool,
+        F: Fn(&P) -> bool,
     {
-        let set = self.set_mut(index);
-        if let Some(way) = set.iter().position(Option::is_none) {
-            set[way] = Some(entry);
-            return Some(way);
-        }
-        if let Some(way) = set
+        let base = self.set_base(index);
+        let victim = self.tags[base..base + self.assoc]
             .iter()
-            .position(|slot| slot.as_ref().map(&replaceable).unwrap_or(false))
-        {
-            set[way] = Some(entry);
-            return Some(way);
-        }
-        None
+            .position(|&t| t == INVALID_TAG)
+            .or_else(|| {
+                (0..self.assoc).find(|&way| {
+                    self.tags[base + way] != INVALID_TAG && replaceable(&self.data[base + way])
+                })
+            })?;
+        self.tags[base + victim] = tag;
+        self.data[base + victim] = payload;
+        Some(victim)
     }
 
-    /// Iterates all occupied slots as `(slot_id, &entry)`.
-    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &E)> {
-        self.slots
+    /// Calls `f(way, &mut payload)` for every *valid* way of set `index`.
+    /// The workhorse of decay / LRU-aging sweeps.
+    #[inline]
+    pub fn for_each_valid_mut<F>(&mut self, index: u64, mut f: F)
+    where
+        F: FnMut(usize, &mut P),
+    {
+        let base = self.set_base(index);
+        for way in 0..self.assoc {
+            if self.tags[base + way] != INVALID_TAG {
+                f(way, &mut self.data[base + way]);
+            }
+        }
+    }
+
+    /// Calls `f(set_index, way, &mut payload)` for every valid slot in the
+    /// table (whole-table decay sweeps).
+    pub fn for_each_valid_slot_mut<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64, usize, &mut P),
+    {
+        for slot in 0..self.tags.len() {
+            if self.tags[slot] != INVALID_TAG {
+                f((slot / self.assoc) as u64, slot % self.assoc, &mut self.data[slot]);
+            }
+        }
+    }
+
+    /// Iterates all occupied slots as `(slot_id, &payload)`.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &P)> {
+        self.tags
             .iter()
+            .zip(self.data.iter())
             .enumerate()
-            .filter_map(|(id, slot)| slot.as_ref().map(|e| (id, e)))
+            .filter_map(|(id, (&t, p))| (t != INVALID_TAG).then_some((id, p)))
     }
 
     /// Number of occupied slots.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
-    /// Clears every slot.
+    /// Clears every slot (payloads stay allocated but unreachable).
     pub fn clear(&mut self) {
-        for slot in &mut self.slots {
-            *slot = None;
-        }
+        self.tags.fill(INVALID_TAG);
     }
 }
 
@@ -172,31 +245,27 @@ impl<E: TaggedEntry> AssocTable<E> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, Clone, PartialEq)]
+    #[derive(Debug, Clone, Copy, PartialEq)]
     struct E {
-        tag: u64,
         v: u32,
-        locked: bool,
+        evictable: bool,
     }
 
-    impl TaggedEntry for E {
-        fn tag(&self) -> u64 {
-            self.tag
-        }
-    }
-
-    fn e(tag: u64, v: u32) -> E {
+    fn e(v: u32) -> E {
         E {
-            tag,
             v,
-            locked: false,
+            evictable: false,
         }
+    }
+
+    fn table(sets: usize, assoc: usize) -> AssocTable<E> {
+        AssocTable::new(sets, assoc, e(0))
     }
 
     #[test]
     fn insert_find_roundtrip() {
-        let mut t: AssocTable<E> = AssocTable::new(8, 4);
-        assert_eq!(t.try_insert(5, e(0xaa, 1), |_| false), Some(0));
+        let mut t = table(8, 4);
+        assert_eq!(t.try_insert(5, 0xaa, e(1), |_| false), Some(0));
         let (way, found) = t.find(5, 0xaa).unwrap();
         assert_eq!(way, 0);
         assert_eq!(found.v, 1);
@@ -206,15 +275,15 @@ mod tests {
 
     #[test]
     fn fills_ways_then_respects_replaceability() {
-        let mut t: AssocTable<E> = AssocTable::new(2, 4);
-        for i in 0..4 {
-            assert!(t.try_insert(0, e(i, i as u32), |_| false).is_some());
+        let mut t = table(2, 4);
+        for i in 0..4u64 {
+            assert!(t.try_insert(0, i, e(i as u32), |_| false).is_some());
         }
         // Set full, nothing replaceable.
-        assert_eq!(t.try_insert(0, e(9, 9), |_| false), None);
+        assert_eq!(t.try_insert(0, 9, e(9), |_| false), None);
         assert_eq!(t.occupancy(), 4);
-        // Now allow replacing entries with tag 2.
-        let way = t.try_insert(0, e(9, 9), |x| x.tag == 2).unwrap();
+        // Now allow replacing the payload inserted under tag 2.
+        let way = t.try_insert(0, 9, e(9), |x| x.v == 2).unwrap();
         assert_eq!(way, 2);
         assert!(t.find(0, 2).is_none());
         assert_eq!(t.find(0, 9).unwrap().1.v, 9);
@@ -222,23 +291,23 @@ mod tests {
 
     #[test]
     fn index_wraps_by_mask() {
-        let mut t: AssocTable<E> = AssocTable::new(4, 2);
-        t.try_insert(1, e(7, 7), |_| false).unwrap();
+        let mut t = table(4, 2);
+        t.try_insert(1, 7, e(7), |_| false).unwrap();
         // Index 5 aliases to set 1 for a 4-set table.
         assert!(t.find(5, 7).is_some());
     }
 
     #[test]
     fn find_mut_allows_in_place_update() {
-        let mut t: AssocTable<E> = AssocTable::new(4, 2);
-        t.try_insert(2, e(3, 10), |_| false).unwrap();
+        let mut t = table(4, 2);
+        t.try_insert(2, 3, e(10), |_| false).unwrap();
         t.find_mut(2, 3).unwrap().1.v = 99;
         assert_eq!(t.find(2, 3).unwrap().1.v, 99);
     }
 
     #[test]
     fn slot_ids_are_unique_and_dense() {
-        let t: AssocTable<E> = AssocTable::new(4, 4);
+        let t = table(4, 4);
         let mut seen = std::collections::HashSet::new();
         for idx in 0..4u64 {
             for way in 0..4usize {
@@ -251,21 +320,46 @@ mod tests {
 
     #[test]
     fn clear_empties_table() {
-        let mut t: AssocTable<E> = AssocTable::new(4, 2);
-        t.try_insert(0, e(1, 1), |_| false);
+        let mut t = table(4, 2);
+        t.try_insert(0, 1, e(1), |_| false);
         t.clear();
         assert_eq!(t.occupancy(), 0);
     }
 
     #[test]
     fn index_bits_matches_sets() {
-        let t: AssocTable<E> = AssocTable::new(128, 4);
+        let t = table(128, 4);
         assert_eq!(t.index_bits(), 7);
+    }
+
+    #[test]
+    fn insert_at_and_invalidate_manage_single_ways() {
+        let mut t = table(4, 2);
+        t.insert_at(1, 1, 0x5, e(42));
+        assert!(t.is_valid(1, 1));
+        assert!(!t.is_valid(1, 0));
+        assert_eq!(t.find(1, 0x5), Some((1, &e(42))));
+        t.invalidate(1, 1);
+        assert!(t.find(1, 0x5).is_none());
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn valid_way_sweeps_skip_empty_slots() {
+        let mut t = table(2, 4);
+        t.insert_at(0, 1, 0x1, e(1));
+        t.insert_at(0, 3, 0x3, e(3));
+        let mut seen = Vec::new();
+        t.for_each_valid_mut(0, |way, p| seen.push((way, p.v)));
+        assert_eq!(seen, vec![(1, 1), (3, 3)]);
+        let mut slots = Vec::new();
+        t.for_each_valid_slot_mut(|set, way, p| slots.push((set, way, p.v)));
+        assert_eq!(slots, vec![(0, 1, 1), (0, 3, 3)]);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
-        let _: AssocTable<E> = AssocTable::new(3, 4);
+        let _ = table(3, 4);
     }
 }

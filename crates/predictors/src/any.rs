@@ -7,7 +7,9 @@
 
 use mascot::history::BranchEvent;
 use mascot::mdp_only::MascotMdpOnly;
-use mascot::prediction::{GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction};
+use mascot::prediction::{
+    GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, PredictReq, TrainReq,
+};
 use mascot::predictor::{Mascot, MascotMeta};
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +20,7 @@ use crate::phast::{Phast, PhastMeta};
 use crate::store_sets::StoreSets;
 
 /// Metadata variants for [`AnyPredictor`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AnyMeta {
     /// MASCOT-family metadata.
     Mascot(MascotMeta),
@@ -128,6 +130,130 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::PerfectMdpSmb(p) => {
                 let (pred, ()) = p.predict(pc, store_seq, oracle);
                 (pred, AnyMeta::Unit)
+            }
+        }
+    }
+
+    fn predict_batch(
+        &mut self,
+        reqs: &[PredictReq],
+        out: &mut Vec<(MemDepPrediction, AnyMeta)>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        // MASCOT-family predictors get the table-major batched probe via a
+        // sink closure (no intermediate allocation for the meta rewrap);
+        // predictors whose `predict` mutates per-hit state (LRU bits) keep
+        // the sequential scalar loop, preserving exact behaviour.
+        match self {
+            AnyPredictor::Mascot(p) => {
+                p.predict_batch_into(reqs, |pred, m| out.push((pred, AnyMeta::Mascot(m))));
+            }
+            AnyPredictor::MascotMdp(p) => {
+                p.predict_batch_into(reqs, |pred, m| out.push((pred, AnyMeta::Mascot(m))));
+            }
+            AnyPredictor::Phast(p) => {
+                for r in reqs {
+                    let (pred, m) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
+                    out.push((pred, AnyMeta::Phast(m)));
+                }
+            }
+            AnyPredictor::NoSq(p) => {
+                for r in reqs {
+                    let (pred, m) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
+                    out.push((pred, AnyMeta::NoSq(m)));
+                }
+            }
+            AnyPredictor::MdpTage(p) => {
+                for r in reqs {
+                    let (pred, m) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
+                    out.push((pred, AnyMeta::MdpTage(m)));
+                }
+            }
+            AnyPredictor::StoreSets(p) => {
+                for r in reqs {
+                    let (pred, ()) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
+                    out.push((pred, AnyMeta::Unit));
+                }
+            }
+            AnyPredictor::PerfectMdp(p) => {
+                for r in reqs {
+                    let (pred, ()) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
+                    out.push((pred, AnyMeta::Unit));
+                }
+            }
+            AnyPredictor::PerfectMdpSmb(p) => {
+                for r in reqs {
+                    let (pred, ()) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
+                    out.push((pred, AnyMeta::Unit));
+                }
+            }
+        }
+    }
+
+    fn train_batch(&mut self, reqs: &mut Vec<TrainReq<AnyMeta>>) {
+        // Hoist the variant dispatch out of the per-record loop; each arm
+        // drains with its own meta unwrap (training order is preserved).
+        match self {
+            AnyPredictor::Mascot(p) => {
+                for r in reqs.drain(..) {
+                    if let AnyMeta::Mascot(m) = r.meta {
+                        p.train(r.pc, m, r.predicted, &r.outcome);
+                    } else {
+                        debug_assert!(false, "meta kind mismatch for mascot");
+                    }
+                }
+            }
+            AnyPredictor::MascotMdp(p) => {
+                for r in reqs.drain(..) {
+                    if let AnyMeta::Mascot(m) = r.meta {
+                        p.train(r.pc, m, r.predicted, &r.outcome);
+                    } else {
+                        debug_assert!(false, "meta kind mismatch for mascot-mdp");
+                    }
+                }
+            }
+            AnyPredictor::Phast(p) => {
+                for r in reqs.drain(..) {
+                    if let AnyMeta::Phast(m) = r.meta {
+                        p.train(r.pc, m, r.predicted, &r.outcome);
+                    } else {
+                        debug_assert!(false, "meta kind mismatch for phast");
+                    }
+                }
+            }
+            AnyPredictor::NoSq(p) => {
+                for r in reqs.drain(..) {
+                    if let AnyMeta::NoSq(m) = r.meta {
+                        p.train(r.pc, m, r.predicted, &r.outcome);
+                    } else {
+                        debug_assert!(false, "meta kind mismatch for nosq");
+                    }
+                }
+            }
+            AnyPredictor::MdpTage(p) => {
+                for r in reqs.drain(..) {
+                    if let AnyMeta::MdpTage(m) = r.meta {
+                        p.train(r.pc, m, r.predicted, &r.outcome);
+                    } else {
+                        debug_assert!(false, "meta kind mismatch for mdp-tage");
+                    }
+                }
+            }
+            AnyPredictor::StoreSets(p) => {
+                for r in reqs.drain(..) {
+                    p.train(r.pc, (), r.predicted, &r.outcome);
+                }
+            }
+            AnyPredictor::PerfectMdp(p) => {
+                for r in reqs.drain(..) {
+                    p.train(r.pc, (), r.predicted, &r.outcome);
+                }
+            }
+            AnyPredictor::PerfectMdpSmb(p) => {
+                for r in reqs.drain(..) {
+                    p.train(r.pc, (), r.predicted, &r.outcome);
+                }
             }
         }
     }

@@ -9,12 +9,12 @@
 //! weaknesses MASCOT's 7-bit distance and richer counters address. Included
 //! as a historical baseline beyond the paper's Table II set.
 
-use mascot::history::{BranchEvent, GlobalHistory, TableHasher};
+use mascot::history::{rewind_hashers, BranchEvent, GlobalHistory, TableHasher};
 use mascot::prediction::{
     GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
 };
 use mascot::predictor::TableLookup;
-use mascot::table::{AssocTable, TaggedEntry};
+use mascot::table::AssocTable;
 use serde::{Deserialize, Serialize};
 
 /// Maximum tables supported by the fixed-size metadata.
@@ -45,19 +45,13 @@ impl Default for MdpTageConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Entry payload; the tag lives in the table's SoA tag lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct MdpTageEntry {
-    tag: u64,
     /// The repurposed 3-bit counter: store distance 1..=7.
     distance: u8,
     /// Single usefulness bit.
     useful: bool,
-}
-
-impl TaggedEntry for MdpTageEntry {
-    fn tag(&self) -> u64 {
-        self.tag
-    }
 }
 
 /// Per-prediction metadata for [`MdpTage`].
@@ -108,10 +102,20 @@ impl MdpTage {
             "history/table shape mismatch"
         );
         assert!(cfg.history_lengths.len() <= MAX_TABLES, "too many tables");
+        let fill = MdpTageEntry {
+            distance: 0,
+            useful: false,
+        };
         let tables: Vec<_> = cfg
             .table_entries
             .iter()
-            .map(|&e| AssocTable::new((e / cfg.associativity) as usize, cfg.associativity as usize))
+            .map(|&e| {
+                AssocTable::new(
+                    (e / cfg.associativity) as usize,
+                    cfg.associativity as usize,
+                    fill,
+                )
+            })
             .collect();
         let hashers: Vec<_> = cfg
             .history_lengths
@@ -143,19 +147,16 @@ impl MdpTage {
         for t in start..self.tables.len() {
             let lk = meta.lookups[t];
             let entry = MdpTageEntry {
-                tag: u64::from(lk.tag),
                 distance,
                 useful: true,
             };
             if self.tables[t]
-                .try_insert(u64::from(lk.index), entry, |e| !e.useful)
+                .try_insert(u64::from(lk.index), u64::from(lk.tag), entry, |e| !e.useful)
                 .is_some()
             {
                 return;
             }
-            for slot in self.tables[t].set_mut(u64::from(lk.index)).iter_mut().flatten() {
-                slot.useful = false;
-            }
+            self.tables[t].for_each_valid_mut(u64::from(lk.index), |_, e| e.useful = false);
         }
     }
 }
@@ -261,10 +262,7 @@ impl MemDepPredictor for MdpTage {
     }
 
     fn rewind_history(&mut self, recent: &[BranchEvent]) {
-        self.history.replace(recent);
-        for h in &mut self.hashers {
-            h.recompute(&self.history);
-        }
+        rewind_hashers(&mut self.history, &mut self.hashers, recent);
     }
 
     fn storage_bits(&self) -> u64 {

@@ -13,12 +13,12 @@
 //! allowed to bypass; a miss lets the load execute speculatively. NoSQ's
 //! bypass datapath supports offset (partial-word) bypassing.
 
-use mascot::history::{BranchEvent, GlobalHistory, TableHasher};
+use mascot::history::{rewind_hashers, BranchEvent, GlobalHistory, TableHasher};
 use mascot::prediction::{
     GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
 };
 use mascot::predictor::TableLookup;
-use mascot::table::{AssocTable, TaggedEntry};
+use mascot::table::AssocTable;
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
@@ -49,18 +49,12 @@ impl Default for NoSqConfig {
     }
 }
 
+/// Entry payload; the tag lives in the table's SoA tag lane.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct NoSqEntry {
-    tag: u64,
     distance: u8,
     confidence: SaturatingCounter,
     lru: u8,
-}
-
-impl TaggedEntry for NoSqEntry {
-    fn tag(&self) -> u64 {
-        self.tag
-    }
 }
 
 /// Which table provided a prediction.
@@ -115,8 +109,13 @@ impl NoSq {
     /// Panics if entries/associativity do not yield power-of-two set counts.
     pub fn new(cfg: NoSqConfig) -> Self {
         let sets = (cfg.entries_per_table / cfg.associativity) as usize;
-        let path_dep = AssocTable::new(sets, cfg.associativity as usize);
-        let path_indep = AssocTable::new(sets, cfg.associativity as usize);
+        let fill = NoSqEntry {
+            distance: 0,
+            confidence: SaturatingCounter::new(cfg.confidence_bits, 0),
+            lru: 0,
+        };
+        let path_dep = AssocTable::new(sets, cfg.associativity as usize, fill.clone());
+        let path_indep = AssocTable::new(sets, cfg.associativity as usize, fill);
         let dep_hasher = TableHasher::new(cfg.history_len, path_dep.index_bits(), u32::from(cfg.tag_bits));
         let indep_hasher = TableHasher::new(0, path_indep.index_bits(), u32::from(cfg.tag_bits));
         Self {
@@ -130,22 +129,15 @@ impl NoSq {
     }
 
     fn touch_lru(table: &mut AssocTable<NoSqEntry>, index: u64, tag: u64) {
-        let mut hit_way = None;
-        for (way, slot) in table.set(index).iter().enumerate() {
-            if slot.as_ref().is_some_and(|e| e.tag == tag) {
-                hit_way = Some(way);
-            }
-        }
+        let hit_way = table.set_tags(index).iter().rposition(|&t| t == tag);
         if let Some(hit) = hit_way {
-            for (way, slot) in table.set_mut(index).iter_mut().enumerate() {
-                if let Some(e) = slot {
-                    if way == hit {
-                        e.lru = 3;
-                    } else {
-                        e.lru = e.lru.saturating_sub(1);
-                    }
+            table.for_each_valid_mut(index, |way, e| {
+                if way == hit {
+                    e.lru = 3;
+                } else {
+                    e.lru = e.lru.saturating_sub(1);
                 }
-            }
+            });
         }
     }
 
@@ -169,33 +161,32 @@ impl NoSq {
             Self::touch_lru(t, index, tag);
             return;
         }
-        let set = t.set_mut(index);
-        let victim = set
-            .iter()
-            .position(Option::is_none)
+        let ways = t.assoc();
+        let victim = (0..ways)
+            .find(|&w| !t.is_valid(index, w))
             .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| {
-                        s.as_ref()
-                            .map_or((0, 0), |e| (e.lru, e.confidence.value()))
+                (0..ways)
+                    .min_by_key(|&w| {
+                        let e = t.payload(index, w);
+                        (e.lru, e.confidence.value())
                     })
-                    .map(|(w, _)| w)
                     .expect("associativity is non-zero")
             });
-        set[victim] = Some(NoSqEntry {
+        t.insert_at(
+            index,
+            victim,
             tag,
-            distance: distance.get(),
-            confidence: SaturatingCounter::new(cfg_conf, 0),
-            lru: 3,
-        });
-        for (way, slot) in set.iter_mut().enumerate() {
+            NoSqEntry {
+                distance: distance.get(),
+                confidence: SaturatingCounter::new(cfg_conf, 0),
+                lru: 3,
+            },
+        );
+        t.for_each_valid_mut(index, |way, e| {
             if way != victim {
-                if let Some(e) = slot {
-                    e.lru = e.lru.saturating_sub(1);
-                }
+                e.lru = e.lru.saturating_sub(1);
             }
-        }
+        });
     }
 }
 
@@ -334,9 +325,16 @@ impl MemDepPredictor for NoSq {
     }
 
     fn rewind_history(&mut self, recent: &[BranchEvent]) {
-        self.history.replace(recent);
-        self.dep_hasher.recompute(&self.history);
-        self.indep_hasher.recompute(&self.history);
+        // Two hashers share one log; borrow them as a slice so the shared
+        // squash-undo fast path applies (see `rewind_hashers`).
+        let mut hashers = [
+            std::mem::replace(&mut self.dep_hasher, TableHasher::new(0, 1, 1)),
+            std::mem::replace(&mut self.indep_hasher, TableHasher::new(0, 1, 1)),
+        ];
+        rewind_hashers(&mut self.history, &mut hashers, recent);
+        let [dep, indep] = hashers;
+        self.dep_hasher = dep;
+        self.indep_hasher = indep;
     }
 
     fn bypass_supports_offset(&self) -> bool {

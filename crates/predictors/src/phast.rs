@@ -13,12 +13,12 @@
 //! MASCOT it records only dependencies — a false dependence merely
 //! decrements the provider's usefulness.
 
-use mascot::history::{BranchEvent, GlobalHistory, TableHasher};
+use mascot::history::{rewind_hashers, BranchEvent, GlobalHistory, TableHasher};
 use mascot::prediction::{
     GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
 };
 use mascot::predictor::TableLookup;
-use mascot::table::{AssocTable, TaggedEntry};
+use mascot::table::AssocTable;
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
@@ -55,18 +55,12 @@ impl Default for PhastConfig {
     }
 }
 
+/// Entry payload; the tag lives in the table's SoA tag lane.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct PhastEntry {
-    tag: u64,
     distance: u8,
     usefulness: SaturatingCounter,
     lru: u8,
-}
-
-impl TaggedEntry for PhastEntry {
-    fn tag(&self) -> u64 {
-        self.tag
-    }
 }
 
 /// Per-prediction metadata for [`Phast`].
@@ -123,10 +117,21 @@ impl Phast {
             "history/table shape mismatch"
         );
         assert!(cfg.history_lengths.len() <= MAX_TABLES, "too many tables");
+        let fill = PhastEntry {
+            distance: 0,
+            usefulness: SaturatingCounter::new(cfg.usefulness_bits, 0),
+            lru: 0,
+        };
         let tables: Vec<_> = cfg
             .table_entries
             .iter()
-            .map(|&e| AssocTable::new((e / cfg.associativity) as usize, cfg.associativity as usize))
+            .map(|&e| {
+                AssocTable::new(
+                    (e / cfg.associativity) as usize,
+                    cfg.associativity as usize,
+                    fill.clone(),
+                )
+            })
             .collect();
         let hashers: Vec<_> = cfg
             .history_lengths
@@ -165,15 +170,13 @@ impl Phast {
     }
 
     fn touch_lru(table: &mut AssocTable<PhastEntry>, index: u64, hit_way: usize) {
-        for (way, slot) in table.set_mut(index).iter_mut().enumerate() {
-            if let Some(e) = slot {
-                if way == hit_way {
-                    e.lru = 3;
-                } else {
-                    e.lru = e.lru.saturating_sub(1);
-                }
+        table.for_each_valid_mut(index, |way, e| {
+            if way == hit_way {
+                e.lru = 3;
+            } else {
+                e.lru = e.lru.saturating_sub(1);
             }
-        }
+        });
     }
 
     /// Installs a dependence at the span-selected table. Existing entries
@@ -191,28 +194,26 @@ impl Phast {
             return;
         }
         let entry = PhastEntry {
-            tag,
             distance: distance.get(),
             usefulness: SaturatingCounter::new(self.cfg.usefulness_bits, self.cfg.alloc_usefulness),
             lru: 3,
         };
-        let set = self.tables[t].set_mut(index);
-        let victim = set.iter().position(Option::is_none).or_else(|| {
-            set.iter()
-                .enumerate()
-                .filter(|(_, s)| s.as_ref().is_some_and(|e| e.usefulness.is_zero()))
-                .min_by_key(|(_, s)| s.as_ref().map_or(0, |e| e.lru))
-                .map(|(w, _)| w)
+        let table = &mut self.tables[t];
+        let ways = table.assoc();
+        // Victim: first invalid way, else the LRU way among zero-usefulness
+        // entries (first-minimal on ties, matching `min_by_key`).
+        let victim = (0..ways).find(|&w| !table.is_valid(index, w)).or_else(|| {
+            (0..ways)
+                .filter(|&w| table.is_valid(index, w) && table.payload(index, w).usefulness.is_zero())
+                .min_by_key(|&w| table.payload(index, w).lru)
         });
         match victim {
             Some(w) => {
-                set[w] = Some(entry);
-                Self::touch_lru(&mut self.tables[t], index, w);
+                table.insert_at(index, w, tag, entry);
+                Self::touch_lru(table, index, w);
             }
             None => {
-                for slot in set.iter_mut().flatten() {
-                    slot.usefulness.decrement();
-                }
+                table.for_each_valid_mut(index, |_, e| e.usefulness.decrement());
             }
         }
     }
@@ -314,10 +315,7 @@ impl MemDepPredictor for Phast {
     }
 
     fn rewind_history(&mut self, recent: &[BranchEvent]) {
-        self.history.replace(recent);
-        for h in &mut self.hashers {
-            h.recompute(&self.history);
-        }
+        rewind_hashers(&mut self.history, &mut self.hashers, recent);
     }
 
     fn storage_bits(&self) -> u64 {

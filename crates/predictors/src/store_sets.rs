@@ -61,13 +61,20 @@ impl Default for StoreSetsConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StoreSets {
     cfg: StoreSetsConfig,
-    /// SSID per PC slot; `None` = invalid.
-    ssit: Vec<Option<u16>>,
-    /// Last-fetched-store sequence number per SSID; `None` = invalid.
-    lfst: Vec<Option<u64>>,
+    /// SSID per PC slot; [`NO_SSID`] = invalid. Flat sentinel layout (no
+    /// `Option` discriminant) keeps the hot direct-mapped probe to one
+    /// 2-byte load per slot.
+    ssit: Vec<u16>,
+    /// Last-fetched-store sequence number per SSID; [`NO_STORE`] = invalid.
+    lfst: Vec<u64>,
     next_ssid: u16,
     trains: u64,
 }
+
+/// Invalid-SSIT sentinel; real SSIDs are masked to `ssid_bits` (≤ 12).
+const NO_SSID: u16 = u16::MAX;
+/// Invalid-LFST sentinel; real store sequence numbers never reach it.
+const NO_STORE: u64 = u64::MAX;
 
 impl Default for StoreSets {
     fn default() -> Self {
@@ -85,12 +92,26 @@ impl StoreSets {
         assert!(cfg.ssit_entries.is_power_of_two(), "SSIT must be a power of two");
         assert!(cfg.lfst_entries.is_power_of_two(), "LFST must be a power of two");
         Self {
-            ssit: vec![None; cfg.ssit_entries],
-            lfst: vec![None; cfg.lfst_entries],
+            ssit: vec![NO_SSID; cfg.ssit_entries],
+            lfst: vec![NO_STORE; cfg.lfst_entries],
             next_ssid: 0,
             trains: 0,
             cfg,
         }
+    }
+
+    /// The SSID stored at SSIT slot `idx`, if valid.
+    #[inline]
+    fn ssid_at(&self, idx: usize) -> Option<u16> {
+        let v = self.ssit[idx];
+        (v != NO_SSID).then_some(v)
+    }
+
+    /// The last fetched store of `ssid`'s set, if valid.
+    #[inline]
+    fn last_store(&self, ssid: u16) -> Option<u64> {
+        let v = self.lfst[self.lfst_index(ssid)];
+        (v != NO_STORE).then_some(v)
     }
 
     #[inline]
@@ -115,18 +136,18 @@ impl StoreSets {
     fn merge(&mut self, load_pc: u64, store_pc: u64) {
         let li = self.ssit_index(load_pc);
         let si = self.ssit_index(store_pc);
-        match (self.ssit[li], self.ssit[si]) {
+        match (self.ssid_at(li), self.ssid_at(si)) {
             (None, None) => {
                 let ssid = self.alloc_ssid();
-                self.ssit[li] = Some(ssid);
-                self.ssit[si] = Some(ssid);
+                self.ssit[li] = ssid;
+                self.ssit[si] = ssid;
             }
-            (Some(ssid), None) => self.ssit[si] = Some(ssid),
-            (None, Some(ssid)) => self.ssit[li] = Some(ssid),
+            (Some(ssid), None) => self.ssit[si] = ssid,
+            (None, Some(ssid)) => self.ssit[li] = ssid,
             (Some(a), Some(b)) => {
                 let winner = a.min(b);
-                self.ssit[li] = Some(winner);
-                self.ssit[si] = Some(winner);
+                self.ssit[li] = winner;
+                self.ssit[si] = winner;
             }
         }
     }
@@ -134,8 +155,8 @@ impl StoreSets {
     fn maybe_clear(&mut self) {
         self.trains += 1;
         if self.trains.is_multiple_of(self.cfg.clear_interval) {
-            self.ssit.fill(None);
-            self.lfst.fill(None);
+            self.ssit.fill(NO_SSID);
+            self.lfst.fill(NO_STORE);
         }
     }
 }
@@ -153,8 +174,9 @@ impl MemDepPredictor for StoreSets {
         store_seq: u64,
         _oracle: Option<&GroundTruth>,
     ) -> (MemDepPrediction, ()) {
-        let prediction = self.ssit[self.ssit_index(pc)]
-            .and_then(|ssid| self.lfst[self.lfst_index(ssid)])
+        let prediction = self
+            .ssid_at(self.ssit_index(pc))
+            .and_then(|ssid| self.last_store(ssid))
             .and_then(|last_store| {
                 // Convert absolute store sequence to a distance; a stale
                 // pointer (store long retired) yields no prediction.
@@ -190,17 +212,17 @@ impl MemDepPredictor for StoreSets {
     fn rewind_history(&mut self, _recent: &[BranchEvent]) {}
 
     fn on_store_dispatch(&mut self, pc: u64, store_seq: u64) {
-        if let Some(ssid) = self.ssit[self.ssit_index(pc)] {
+        if let Some(ssid) = self.ssid_at(self.ssit_index(pc)) {
             let idx = self.lfst_index(ssid);
-            self.lfst[idx] = Some(store_seq);
+            self.lfst[idx] = store_seq;
         }
     }
 
     fn predict_store_wait(&mut self, pc: u64, store_seq: u64) -> Option<StoreDistance> {
         // Stores in a set are serialised: each waits for the set's last
         // fetched store (Chrysos & Emer; §V of the MASCOT paper).
-        let ssid = self.ssit[self.ssit_index(pc)]?;
-        let last = self.lfst[self.lfst_index(ssid)]?;
+        let ssid = self.ssid_at(self.ssit_index(pc))?;
+        let last = self.last_store(ssid)?;
         store_seq
             .checked_sub(last)
             .and_then(|d| StoreDistance::new(d as u32))
@@ -280,14 +302,14 @@ mod tests {
         let (m1, pr1) = ((), MemDepPrediction::NoDependence);
         p.train(0x1000, m1, pr1, &dep_at(1, 0x2000));
         p.train(0x3000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x4000));
-        let s_load1 = p.ssit[p.ssit_index(0x1000)].unwrap();
-        let s_store2 = p.ssit[p.ssit_index(0x4000)].unwrap();
+        let s_load1 = p.ssid_at(p.ssit_index(0x1000)).unwrap();
+        let s_store2 = p.ssid_at(p.ssit_index(0x4000)).unwrap();
         assert_ne!(s_load1, s_store2);
         // Now load1 conflicts with store2: both collapse to min SSID.
         p.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x4000));
         let merged = s_load1.min(s_store2);
-        assert_eq!(p.ssit[p.ssit_index(0x1000)], Some(merged));
-        assert_eq!(p.ssit[p.ssit_index(0x4000)], Some(merged));
+        assert_eq!(p.ssid_at(p.ssit_index(0x1000)), Some(merged));
+        assert_eq!(p.ssid_at(p.ssit_index(0x4000)), Some(merged));
     }
 
     #[test]
@@ -297,11 +319,11 @@ mod tests {
             ..Default::default()
         });
         p.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x2000));
-        assert!(p.ssit.iter().any(Option::is_some));
+        assert!(p.ssit.iter().any(|&s| s != NO_SSID));
         for _ in 0..4 {
             p.train(0x5000, (), MemDepPrediction::NoDependence, &LoadOutcome::independent());
         }
-        assert!(p.ssit.iter().all(Option::is_none));
+        assert!(p.ssit.iter().all(|&s| s == NO_SSID));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mascot::history::BranchEvent;
-use mascot::prediction::MemDepPredictor;
+use mascot::prediction::{MemDepPredictor, MemDepPrediction, PredictReq, TrainReq};
 use mascot_predictors::{AnyMeta, AnyPredictor, PredictorKind};
 
 use crate::metrics::ShardMetrics;
@@ -322,6 +322,16 @@ impl ShardPool {
     }
 }
 
+/// Worker-owned scratch for the batched predictor calls: one request build,
+/// one `predict_batch`/`train_batch` per drained job, no per-item predictor
+/// dispatch.
+#[derive(Default)]
+struct BatchScratch {
+    reqs: Vec<PredictReq>,
+    out: Vec<(MemDepPrediction, AnyMeta)>,
+    trains: Vec<TrainReq<AnyMeta>>,
+}
+
 /// The shard worker loop: block for one job, then drain up to `max_batch`
 /// more without blocking, processing each in arrival order.
 fn worker(
@@ -332,12 +342,13 @@ fn worker(
     pending_capacity: usize,
 ) {
     let mut pending = PendingTable::new(pending_capacity);
+    let mut scratch = BatchScratch::default();
     while let Ok(first) = rx.recv() {
         metrics.batches.fetch_add(1, Ordering::Relaxed);
-        process(first, &mut predictor, &mut pending, &metrics);
+        process(first, &mut predictor, &mut pending, &mut scratch, &metrics);
         for _ in 1..max_batch {
             match rx.try_recv() {
-                Ok(job) => process(job, &mut predictor, &mut pending, &metrics),
+                Ok(job) => process(job, &mut predictor, &mut pending, &mut scratch, &metrics),
                 Err(_) => break,
             }
         }
@@ -348,15 +359,22 @@ fn process(
     job: ShardJob,
     predictor: &mut AnyPredictor,
     pending: &mut PendingTable,
+    scratch: &mut BatchScratch,
     metrics: &ShardMetrics,
 ) {
     let t0 = Instant::now();
     match job {
         ShardJob::Predict { items, tag, reply } => {
             let n = items.len() as u64;
+            scratch.reqs.clear();
+            scratch.reqs.extend(items.iter().map(|item| PredictReq {
+                pc: item.pc,
+                store_seq: item.store_seq,
+                oracle: None,
+            }));
+            predictor.predict_batch(&scratch.reqs, &mut scratch.out);
             let mut out = Vec::with_capacity(items.len());
-            for item in items {
-                let (prediction, meta) = predictor.predict(item.pc, item.store_seq, None);
+            for (item, (prediction, meta)) in items.iter().zip(scratch.out.drain(..)) {
                 let ticket = pending.insert(item.pc, prediction, meta);
                 out.push(PredictReply { ticket, prediction });
             }
@@ -369,15 +387,22 @@ fn process(
         ShardJob::Train { items, tag, reply } => {
             let n = items.len() as u64;
             let (mut applied, mut stale) = (0u32, 0u32);
+            scratch.trains.clear();
             for item in items {
                 match pending.take(item.ticket, item.pc) {
                     Some(p) => {
-                        predictor.train(item.pc, p.meta, p.prediction, &item.outcome);
+                        scratch.trains.push(TrainReq {
+                            pc: item.pc,
+                            meta: p.meta,
+                            predicted: p.prediction,
+                            outcome: item.outcome,
+                        });
                         applied += 1;
                     }
                     None => stale += 1,
                 }
             }
+            predictor.train_batch(&mut scratch.trains);
             metrics.trains.fetch_add(u64::from(applied), Ordering::Relaxed);
             metrics
                 .stale_trains

@@ -8,8 +8,8 @@
 //! with the architectural outcome; a mispredicted branch stalls fetch until
 //! the branch resolves plus the redirect penalty.
 
-use mascot::history::{BranchEvent, BranchKind, GlobalHistory, TableHasher};
-use mascot::table::{AssocTable, TaggedEntry};
+use mascot::history::{rewind_hashers, BranchEvent, BranchKind, GlobalHistory, TableHasher};
+use mascot::table::AssocTable;
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
@@ -43,19 +43,13 @@ impl Default for BranchPredictorConfig {
     }
 }
 
+/// Entry payload; the tag lives in the table's SoA tag lane.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct TageEntry {
-    tag: u64,
     /// 3-bit direction counter; taken when >= 4.
     ctr: SaturatingCounter,
     /// 2-bit usefulness.
     useful: SaturatingCounter,
-}
-
-impl TaggedEntry for TageEntry {
-    fn tag(&self) -> u64 {
-        self.tag
-    }
 }
 
 /// A TAGE branch-direction predictor with an indirect-target side table.
@@ -100,10 +94,14 @@ impl TagePredictor {
     pub fn new(cfg: BranchPredictorConfig) -> Self {
         assert!(cfg.bimodal_entries.is_power_of_two());
         assert!(cfg.btb_entries.is_power_of_two());
+        let fill = TageEntry {
+            ctr: SaturatingCounter::new(3, 0),
+            useful: SaturatingCounter::new(2, 0),
+        };
         let tables: Vec<_> = cfg
             .history_lengths
             .iter()
-            .map(|_| AssocTable::new(cfg.table_entries as usize / 4, 4))
+            .map(|_| AssocTable::new(cfg.table_entries as usize / 4, 4, fill.clone()))
             .collect();
         let hashers: Vec<_> = cfg
             .history_lengths
@@ -206,19 +204,16 @@ impl TagePredictor {
             let index = self.hashers[t].index(pc);
             let tag = self.hashers[t].tag(pc);
             let entry = TageEntry {
-                tag,
                 ctr: SaturatingCounter::new(3, if actual { 4 } else { 3 }),
                 useful: SaturatingCounter::new(2, 0),
             };
             if self.tables[t]
-                .try_insert(index, entry, |e| e.useful.is_zero())
+                .try_insert(index, tag, entry, |e| e.useful.is_zero())
                 .is_some()
             {
                 return;
             }
-            for slot in self.tables[t].set_mut(index).iter_mut().flatten() {
-                slot.useful.decrement();
-            }
+            self.tables[t].for_each_valid_mut(index, |_, e| e.useful.decrement());
         }
     }
 
@@ -245,10 +240,7 @@ impl TagePredictor {
 
     /// Restores history after a pipeline squash.
     pub fn rewind_history(&mut self, recent: &[BranchEvent]) {
-        self.history.replace(recent);
-        for h in &mut self.hashers {
-            h.recompute(&self.history);
-        }
+        rewind_hashers(&mut self.history, &mut self.hashers, recent);
     }
 
     /// Conditional misprediction rate over the predictor's lifetime.

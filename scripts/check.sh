@@ -5,10 +5,12 @@
 #   CARGO_FLAGS= scripts/check.sh   # allow network (e.g. first-time fetch)
 #
 # Fails if the build (warnings are errors) or any test fails, if the
-# seeded audit soak (cycle-granular invariant checks + differential runs
-# across every workload profile) flags a violation, if aggregate simulator
-# throughput regresses more than 10% against the committed
-# BENCH_sim_throughput.json baseline (median of 3 passes), or if the
+# seeded audit soak (cycle-granular invariant checks, the batch-vs-scalar
+# prediction differential over every registered predictor kind, and
+# differential runs across every workload profile) flags a violation, if
+# simulator throughput regresses against the committed
+# BENCH_sim_throughput.json baseline (median of 3 passes; >10% aggregate
+# or >12% for any single predictor's suite-wide number), or if the
 # mascot-serve loopback smoke (real mascotd process + mascot-loadgen over
 # TCP) loses requests, achieves zero QPS, or fails to drain on shutdown.
 # Regenerate the baselines with `cargo run --release -p mascot-bench --bin
@@ -31,14 +33,16 @@ cargo build --release ${CARGO_FLAGS} --workspace
 echo "== tier-1: tests =="
 cargo test -q ${CARGO_FLAGS}
 
-echo "== audit soak (seeded, all workload profiles) =="
+echo "== audit soak (batch differential + seeded, all workload profiles) =="
+# Starts with the batch-vs-scalar equivalence differential for every
+# predictor kind in the registry, then the per-profile invariant soak.
 # Fixed seed and a bounded per-profile budget keep this deterministic and
 # inside a couple of minutes; failures shrink to .mtrc repros under
 # target/audit-repros/ and print the replay command.
 cargo run --release ${CARGO_FLAGS} -p mascot-audit --bin audit-soak -- \
     --seed 2025 --uops 20000
 
-echo "== throughput check =="
+echo "== throughput check (aggregate + per-predictor gates) =="
 cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check
 
 echo "== serve smoke (mascotd + loadgen over loopback) =="
