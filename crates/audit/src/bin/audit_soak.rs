@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use mascot_audit::runner::quiet_panics;
 use mascot_audit::{
-    check_batch_equivalence, check_determinism, check_mdp_agreement, run_audited, shrink,
-    write_repro,
+    check_batch_equivalence, check_determinism, check_mdp_agreement, check_snapshot_roundtrip,
+    run_audited, shrink, write_repro,
 };
 use mascot_predictors::PredictorKind;
 use mascot_sim::{codec, CoreConfig, Fault, Trace};
@@ -286,6 +286,21 @@ fn main() -> ExitCode {
                     println!("DIFF FAILURE: batch-equivalence {}: {e}", kind.label());
                     failures.push(Failure {
                         label: format!("batch-equivalence-{}", kind.label()),
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        // Snapshot round-trip: restore must reproduce a bit-identical
+        // payload and an identical behavioral fingerprint, and stay in
+        // lockstep with the original under continued traffic.
+        for kind in PredictorKind::ALL {
+            match check_snapshot_roundtrip(kind, args.seed, 3_000) {
+                Ok(()) => println!("snapshot-roundtrip ok: {}", kind.label()),
+                Err(e) => {
+                    println!("DIFF FAILURE: snapshot-roundtrip {}: {e}", kind.label());
+                    failures.push(Failure {
+                        label: format!("snapshot-roundtrip-{}", kind.label()),
                         message: e.to_string(),
                     });
                 }

@@ -77,6 +77,13 @@ pub enum DiffError {
         /// What diverged (prediction, metadata, or final state).
         detail: String,
     },
+    /// Snapshot → restore failed to reproduce the predictor exactly.
+    SnapshotDiverged {
+        /// Predictor kind under test.
+        kind: PredictorKind,
+        /// Which stage of the round-trip diverged or failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DiffError {
@@ -108,6 +115,11 @@ impl std::fmt::Display for DiffError {
             } => write!(
                 f,
                 "batched {} diverged from scalar at request {step} (pc {pc:#x}): {detail}",
+                kind.label()
+            ),
+            DiffError::SnapshotDiverged { kind, detail } => write!(
+                f,
+                "snapshot round-trip for {} diverged: {detail}",
                 kind.label()
             ),
         }
@@ -413,6 +425,125 @@ pub fn check_batch_equivalence(
     Ok(())
 }
 
+/// Drives `pred` through `steps` seeded requests (interleaved branches,
+/// store dispatches, predicts and trains) — the shared traffic generator
+/// for the snapshot round-trip check. Deterministic in `(seed, steps)`, so
+/// two predictors driven with the same arguments see identical streams.
+fn drive_traffic(pred: &mut AnyPredictor, seed: u64, steps: usize) {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let classes = [
+        BypassClass::DirectBypass,
+        BypassClass::NoOffset,
+        BypassClass::Offset,
+        BypassClass::MdpOnly,
+    ];
+    let mut store_seq = 0u64;
+    for _ in 0..steps {
+        if rng() % 3 == 0 {
+            pred.on_branch(&BranchEvent {
+                pc: 0x100 + (rng() % 32) * 4,
+                kind: BranchKind::Conditional,
+                taken: rng() % 2 == 0,
+                target: 0x800,
+            });
+        }
+        if rng() % 2 == 0 {
+            pred.on_store_dispatch(0x9000 + (rng() % 16) * 8, store_seq);
+            store_seq += 1;
+        }
+        let pc = 0x4000 + (rng() % 24) * 4;
+        let oracle = (rng() % 4 == 0)
+            .then(|| StoreDistance::new(1 + (rng() % 7) as u32))
+            .flatten()
+            .map(|distance| GroundTruth {
+                distance,
+                class: classes[(rng() as usize) % classes.len()],
+            });
+        let (p, meta) = pred.predict(pc, store_seq, oracle.as_ref());
+        let outcome = if rng() % 2 == 0 {
+            LoadOutcome::dependent(ObservedDependence {
+                distance: StoreDistance::new(1 + (rng() % 90) as u32).expect("non-zero distance"),
+                class: classes[(rng() as usize) % classes.len()],
+                store_pc: 0x9000 + (rng() % 16) * 8,
+                branches_between: (rng() % 4) as u32,
+            })
+        } else {
+            LoadOutcome::independent()
+        };
+        pred.train(pc, meta, p, &outcome);
+    }
+}
+
+/// Proves the snapshot round-trip for `kind`: warm a predictor over
+/// `steps` seeded requests, serialize it, restore a second instance from
+/// the bytes, and require (a) the restored instance re-encodes to the
+/// **bit-identical** payload, (b) both answer an identical behavioral
+/// fingerprint over the traffic's PC pool, and (c) after `steps / 2`
+/// further identical requests on each, the fingerprints and payloads still
+/// agree — i.e. hidden state (history folds, LRU, decay phase) survived
+/// the trip, not just the visible tables.
+///
+/// # Errors
+///
+/// [`DiffError::SnapshotDiverged`] naming the failing stage.
+pub fn check_snapshot_roundtrip(
+    kind: PredictorKind,
+    seed: u64,
+    steps: usize,
+) -> Result<(), DiffError> {
+    let diverged = |detail: String| DiffError::SnapshotDiverged { kind, detail };
+    let pcs: Vec<u64> = (0..24u64).map(|i| 0x4000 + i * 4).collect();
+
+    let mut original = kind.build();
+    drive_traffic(&mut original, seed, steps);
+
+    let bytes = original.snapshot_bytes();
+    let mut restored = AnyPredictor::from_snapshot_bytes(&bytes)
+        .map_err(|e| diverged(format!("restore failed: {e}")))?;
+    if restored.snapshot_bytes() != bytes {
+        return Err(diverged("restored state re-encodes differently".into()));
+    }
+    if restored.entry_count() != original.entry_count() {
+        return Err(diverged(format!(
+            "entry count {} != original {}",
+            restored.entry_count(),
+            original.entry_count()
+        )));
+    }
+    let (f1, f2) = (fingerprint(&original, &pcs), fingerprint(&restored, &pcs));
+    if let Some(i) = f1.iter().zip(&f2).position(|(a, b)| a != b) {
+        return Err(diverged(format!(
+            "probe pc {:#x} answers {:?} on original, {:?} on restored",
+            pcs[i], f1[i], f2[i]
+        )));
+    }
+
+    // Hidden state: continue both under identical traffic and require they
+    // stay in lockstep.
+    let cont = steps / 2;
+    drive_traffic(&mut original, seed ^ 0xC0FF_EE00, cont);
+    drive_traffic(&mut restored, seed ^ 0xC0FF_EE00, cont);
+    let (f1, f2) = (fingerprint(&original, &pcs), fingerprint(&restored, &pcs));
+    if let Some(i) = f1.iter().zip(&f2).position(|(a, b)| a != b) {
+        return Err(diverged(format!(
+            "diverged after restore: continued traffic answers {:?} vs {:?} at pc {:#x}",
+            f1[i], f2[i], pcs[i]
+        )));
+    }
+    if restored.snapshot_bytes() != original.snapshot_bytes() {
+        return Err(diverged(
+            "continued traffic produced different snapshot payloads".into(),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +564,14 @@ mod tests {
     fn batch_matches_scalar_on_every_kind() {
         for kind in PredictorKind::ALL {
             check_batch_equivalence(kind, 0xB47C, 2_000)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_on_every_kind() {
+        for kind in PredictorKind::ALL {
+            check_snapshot_roundtrip(kind, 0x5AAF, 1_500)
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         }
     }

@@ -6,6 +6,7 @@
 //! [`MascotConfig::opt_with_tag_reduction`] reproduces the Fig. 15 tag-size
 //! sweep down to the 10.1 KiB point.
 
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Errors produced when validating a [`MascotConfig`].
@@ -237,6 +238,88 @@ impl MascotConfig {
     pub fn sets(&self, table: usize) -> usize {
         (self.table_entries[table] / self.associativity) as usize
     }
+
+    /// Appends the full configuration to a snapshot payload, making the
+    /// predictor state self-describing: restore rebuilds the geometry from
+    /// the snapshot and rejects payloads whose tables do not match it.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u32(self.history_lengths.len() as u32);
+        for &h in &self.history_lengths {
+            w.u32(h);
+        }
+        for &e in &self.table_entries {
+            w.u32(e);
+        }
+        for &t in &self.tag_bits {
+            w.u8(t);
+        }
+        w.u32(self.associativity);
+        w.u8(self.distance_bits);
+        w.u8(self.usefulness_bits);
+        w.u8(self.bypass_bits);
+        w.u8(self.dep_alloc_usefulness);
+        w.u8(self.nondep_alloc_usefulness);
+        w.bool(self.tuning);
+        w.bool(self.offset_bypass);
+        match self.periodic_decay {
+            Some(p) => {
+                w.bool(true);
+                w.u32(p);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Decodes a configuration from a snapshot payload, fail-closed: the
+    /// decoded configuration must pass [`MascotConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation, a hostile table count, or a decoded
+    /// configuration that fails validation.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.u32("config table count")? as usize;
+        if n == 0 || n > 64 {
+            return Err(SnapError::Corrupt("config table count out of range"));
+        }
+        let mut history_lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            history_lengths.push(r.u32("config history length")?);
+        }
+        let mut table_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            table_entries.push(r.u32("config table entries")?);
+        }
+        let mut tag_bits = Vec::with_capacity(n);
+        for _ in 0..n {
+            tag_bits.push(r.u8("config tag width")?);
+        }
+        let cfg = Self {
+            history_lengths,
+            table_entries,
+            tag_bits,
+            associativity: r.u32("config associativity")?,
+            distance_bits: r.u8("config distance width")?,
+            usefulness_bits: r.u8("config usefulness width")?,
+            bypass_bits: r.u8("config bypass width")?,
+            dep_alloc_usefulness: r.u8("config dependent allocation usefulness")?,
+            nondep_alloc_usefulness: r.u8("config non-dependent allocation usefulness")?,
+            tuning: r.bool("config tuning flag")?,
+            offset_bypass: r.bool("config offset-bypass flag")?,
+            periodic_decay: if r.bool("config periodic-decay flag")? {
+                let p = r.u32("config decay period")?;
+                if p == 0 {
+                    return Err(SnapError::Corrupt("config decay period is zero"));
+                }
+                Some(p)
+            } else {
+                None
+            },
+        };
+        cfg.validate()
+            .map_err(|_| SnapError::Corrupt("snapshot configuration fails validation"))?;
+        Ok(cfg)
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +399,45 @@ mod tests {
         let cfg = MascotConfig::default();
         for t in 0..cfg.num_tables() {
             assert_eq!(cfg.entry_bits(t), 28);
+        }
+    }
+
+    #[test]
+    fn snap_roundtrip_all_presets() {
+        use mascot_snapshot::{SnapReader, SnapWriter};
+        for cfg in [
+            MascotConfig::default(),
+            MascotConfig::opt(),
+            MascotConfig::opt_with_tag_reduction(4),
+            MascotConfig::default().with_tuning().with_offset_bypass(),
+            MascotConfig::default().with_periodic_decay(512),
+        ] {
+            let mut w = SnapWriter::new();
+            cfg.snap_encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(MascotConfig::snap_decode(&mut r).unwrap(), cfg);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn snap_decode_rejects_invalid_configs() {
+        use mascot_snapshot::{SnapReader, SnapWriter};
+        let mut bad = MascotConfig::default();
+        bad.table_entries[0] = 100; // 25 sets: not a power of two
+        let mut w = SnapWriter::new();
+        bad.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(MascotConfig::snap_decode(&mut r).is_err());
+        // Truncations fail.
+        let mut w = SnapWriter::new();
+        MascotConfig::default().snap_encode(&mut w);
+        let good = w.into_bytes();
+        for cut in 0..good.len() {
+            let mut r = SnapReader::new(&good[..cut]);
+            assert!(MascotConfig::snap_decode(&mut r).is_err(), "cut {cut}");
         }
     }
 

@@ -7,6 +7,7 @@
 //! tag lane; this type carries the remaining (payload) fields.
 
 use crate::prediction::StoreDistance;
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +105,32 @@ impl MascotEntry {
     /// Resets SMB confidence (outcome was not a bypass opportunity).
     pub fn punish_bypass(&mut self) {
         self.bypass.reset();
+    }
+
+    /// Appends the entry to a snapshot payload.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u8(self.distance);
+        self.usefulness.snap_encode(w);
+        self.bypass.snap_encode(w);
+    }
+
+    /// Decodes an entry from a snapshot payload, fail-closed: the distance
+    /// must fit the 7-bit field and both counters must decode as valid
+    /// saturating counters.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any out-of-range field.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let distance = r.u8("entry distance")?;
+        if distance > 127 {
+            return Err(SnapError::Corrupt("entry distance exceeds 7 bits"));
+        }
+        Ok(Self {
+            distance,
+            usefulness: SaturatingCounter::snap_decode(r)?,
+            bypass: SaturatingCounter::snap_decode(r)?,
+        })
     }
 }
 

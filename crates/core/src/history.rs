@@ -14,6 +14,7 @@
 //! squash popped only a few events, unwound push-by-push in O(popped) via
 //! [`rewind_hashers`].
 
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -145,6 +146,74 @@ impl GlobalHistory {
     /// The retention capacity this log was created with.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Appends the log to a snapshot payload: capacity, lifetime total and
+    /// every retained event, oldest first.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u64(self.capacity as u64);
+        w.u64(self.total);
+        w.u32(self.events.len() as u32);
+        for ev in &self.events {
+            w.u64(ev.pc);
+            w.u8(match ev.kind {
+                BranchKind::Conditional => 0,
+                BranchKind::Indirect => 1,
+            });
+            w.u8(u8::from(ev.taken));
+            w.u64(ev.target);
+        }
+    }
+
+    /// Decodes a log encoded by [`Self::snap_encode`], fail-closed. Unlike
+    /// [`Self::replace`] (which resets `total` to the replacement length
+    /// for squash recovery), this restores the lifetime push count exactly,
+    /// so a restored predictor is bit-identical to the one snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any internally inconsistent field
+    /// (zero capacity, more events than capacity, total below the retained
+    /// count, unknown branch kind).
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let capacity = r.u64("history capacity")? as usize;
+        if capacity == 0 || capacity > (1 << 24) {
+            return Err(SnapError::Corrupt("history capacity out of range"));
+        }
+        let total = r.u64("history total")?;
+        let len = r.u32("history length")? as usize;
+        if len > capacity {
+            return Err(SnapError::Corrupt("history longer than its capacity"));
+        }
+        if total < len as u64 {
+            return Err(SnapError::Corrupt("history total below retained count"));
+        }
+        let mut events = VecDeque::with_capacity(capacity);
+        for _ in 0..len {
+            let pc = r.u64("event pc")?;
+            let kind = match r.u8("event kind")? {
+                0 => BranchKind::Conditional,
+                1 => BranchKind::Indirect,
+                _ => return Err(SnapError::Corrupt("unknown branch kind")),
+            };
+            let taken = match r.u8("event taken")? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapError::Corrupt("taken flag out of range")),
+            };
+            let target = r.u64("event target")?;
+            events.push_back(BranchEvent {
+                pc,
+                kind,
+                taken,
+                target,
+            });
+        }
+        Ok(Self {
+            events,
+            capacity,
+            total,
+        })
     }
 
     /// Pops and returns the newest event (squash-undo support; see
@@ -654,6 +723,71 @@ mod tests {
         h.replace(&snapshot);
         assert_eq!(h.len(), 2);
         assert_eq!(h.event_at_age(0).unwrap().pc, 4);
+    }
+
+    /// Unlike `replace` (which renumbers `total` for squash recovery), the
+    /// snapshot codec must restore the log *exactly*, lifetime total and
+    /// capacity included.
+    #[test]
+    fn snap_roundtrip_is_exact() {
+        let mut h = GlobalHistory::new(4);
+        for i in 0..6u64 {
+            h.push(if i % 2 == 0 {
+                cond(i * 4, true)
+            } else {
+                indirect(i * 4, 0x1000 + i)
+            });
+        }
+        let mut w = SnapWriter::new();
+        h.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = GlobalHistory::snap_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.capacity(), h.capacity());
+        assert_eq!(back.total(), 6, "lifetime total survives, unlike replace()");
+        assert_eq!(back.len(), h.len());
+        assert!(back.iter().zip(h.iter()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn snap_decode_is_fail_closed() {
+        let mut h = GlobalHistory::new(4);
+        h.push(cond(0, true));
+        let mut w = SnapWriter::new();
+        h.snap_encode(&mut w);
+        let good = w.into_bytes();
+        // Truncations fail.
+        for cut in 0..good.len() {
+            let mut r = SnapReader::new(&good[..cut]);
+            assert!(GlobalHistory::snap_decode(&mut r).is_err(), "cut {cut}");
+        }
+        // len > capacity fails: capacity 1, claimed length 2.
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        w.u64(2);
+        w.u32(2);
+        for _ in 0..2 {
+            w.u64(0);
+            w.u8(0);
+            w.u8(0);
+            w.u64(0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(GlobalHistory::snap_decode(&mut r).is_err());
+        // Unknown branch kind fails.
+        let mut w = SnapWriter::new();
+        w.u64(4);
+        w.u64(1);
+        w.u32(1);
+        w.u64(0);
+        w.u8(9); // bad kind
+        w.u8(0);
+        w.u64(0);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(GlobalHistory::snap_decode(&mut r).is_err());
     }
 
     /// Incremental folding must agree exactly with recompute-from-scratch:

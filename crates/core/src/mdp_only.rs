@@ -50,6 +50,39 @@ impl MascotMdpOnly {
         &self.inner
     }
 
+    /// Serializes the wrapped predictor's state ([`Mascot::snap_encode`]).
+    pub fn snap_encode(&self, w: &mut mascot_snapshot::SnapWriter) {
+        self.inner.snap_encode(w);
+    }
+
+    /// Restores from a snapshot payload ([`Mascot::snap_decode`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`mascot_snapshot::SnapError`] from the inner decode.
+    pub fn snap_decode(
+        r: &mut mascot_snapshot::SnapReader<'_>,
+    ) -> Result<Self, mascot_snapshot::SnapError> {
+        Ok(Self {
+            inner: Mascot::snap_decode(r)?,
+        })
+    }
+
+    /// Folds another MDP-only predictor's tables into this one
+    /// ([`Mascot::merge_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`mascot_snapshot::SnapError`] from the inner merge.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, mascot_snapshot::SnapError> {
+        self.inner.merge_from(&other.inner)
+    }
+
+    /// Total valid entries across all tables ([`Mascot::entry_count`]).
+    pub fn entry_count(&self) -> u64 {
+        self.inner.entry_count()
+    }
+
     /// Batched probe: [`Mascot::predict_batch_into`] with every prediction
     /// demoted before it reaches the sink.
     pub fn predict_batch_into(

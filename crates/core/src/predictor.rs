@@ -11,6 +11,7 @@
 //! first-class context patterns instead of waiting ~1,625 predictions for a
 //! confidence counter to decay (§III-A).
 
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::config::MascotConfig;
@@ -328,6 +329,148 @@ impl Mascot {
             }
         }
         self.stats.allocations_dropped += 1;
+    }
+
+    /// Total valid entries across all tables (the snapshot/restore
+    /// "restored entries" accounting unit).
+    pub fn entry_count(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupancy() as u64).sum()
+    }
+
+    /// Serializes the full architectural state: configuration, tables,
+    /// global history, decay phase and aggregate stats.
+    ///
+    /// The table hashers are *not* serialized — they are a pure function of
+    /// (config, history) and are recomputed on decode, which both shrinks
+    /// the payload and makes "hashers match history" true by construction.
+    /// The tuning state and batch scratch are instrumentation/scratch, not
+    /// architectural state, and are likewise rebuilt fresh.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        self.cfg.snap_encode(w);
+        w.bool(self.allocate_non_dependencies);
+        w.u32(self.updates_since_decay);
+        self.history.snap_encode(w);
+        w.u32(self.stats.table_predictions.len() as u32);
+        for &c in &self.stats.table_predictions {
+            w.u64(c);
+        }
+        w.u64(self.stats.base_predictions);
+        w.u64(self.stats.dep_allocations);
+        w.u64(self.stats.nondep_allocations);
+        w.u64(self.stats.allocation_failures);
+        w.u64(self.stats.allocations_dropped);
+        for table in &self.tables {
+            table.snap_encode_with(w, |e, w| e.snap_encode(w));
+        }
+    }
+
+    /// Decodes a predictor from a snapshot payload, fail-closed: the
+    /// embedded configuration must validate, every table must match the
+    /// geometry that configuration implies, every tag must fit its table's
+    /// tag width, and the decay phase must be consistent with the decay
+    /// period. Hashers are recomputed from the restored history.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any out-of-range or inconsistent
+    /// field; no partially restored predictor is ever produced.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cfg = MascotConfig::snap_decode(r)?;
+        let mut p = Self::new(cfg)
+            .map_err(|_| SnapError::Corrupt("snapshot configuration rejected by the predictor"))?;
+        p.allocate_non_dependencies = r.bool("non-dependence allocation flag")?;
+        let updates = r.u32("decay phase")?;
+        match p.cfg.periodic_decay {
+            Some(period) if updates >= period => {
+                return Err(SnapError::Corrupt("decay phase exceeds its period"));
+            }
+            None if updates != 0 => {
+                return Err(SnapError::Corrupt("decay phase without periodic decay"));
+            }
+            _ => p.updates_since_decay = updates,
+        }
+        let history = GlobalHistory::snap_decode(r)?;
+        if history.capacity() != p.history.capacity() {
+            return Err(SnapError::Corrupt("history capacity does not match config"));
+        }
+        p.history = history;
+        for hasher in &mut p.hashers {
+            hasher.recompute(&p.history);
+        }
+        let nt = r.u32("stats table count")? as usize;
+        if nt != p.tables.len() {
+            return Err(SnapError::Corrupt("stats table count does not match config"));
+        }
+        let mut table_predictions = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            table_predictions.push(r.u64("table prediction counter")?);
+        }
+        p.stats = MascotStats {
+            table_predictions,
+            base_predictions: r.u64("base prediction counter")?,
+            dep_allocations: r.u64("dependent allocation counter")?,
+            nondep_allocations: r.u64("non-dependence allocation counter")?,
+            allocation_failures: r.u64("allocation failure counter")?,
+            allocations_dropped: r.u64("dropped allocation counter")?,
+        };
+        let fill = MascotEntry::non_dependent(p.cfg.usefulness_bits, 0, p.cfg.bypass_bits);
+        for i in 0..p.tables.len() {
+            let tag_limit = 1u64 << p.cfg.tag_bits[i];
+            p.tables[i] = AssocTable::snap_decode_with(
+                r,
+                p.cfg.sets(i),
+                p.cfg.associativity as usize,
+                fill.clone(),
+                |t| t < tag_limit,
+                MascotEntry::snap_decode,
+            )?;
+        }
+        Ok(p)
+    }
+
+    /// Folds another predictor's tables into this one — the warm-resharding
+    /// merge. Both predictors must share a configuration and ablation mode.
+    ///
+    /// For every valid entry of `other`, the entry is unioned into the same
+    /// (table, set) of `self`; on a tag collision or a full set the entry
+    /// with the higher usefulness (MDP confidence) wins, ties keeping the
+    /// incumbent. Aggregate stats are summed; the global history keeps
+    /// `self`'s copy (shards see an identical broadcast branch stream, so
+    /// the histories agree whenever the shards come from one serve run).
+    ///
+    /// Returns the number of entries written from `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the configurations or ablation modes
+    /// differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, SnapError> {
+        if self.cfg != other.cfg || self.allocate_non_dependencies != other.allocate_non_dependencies
+        {
+            return Err(SnapError::Corrupt(
+                "cannot merge predictors with different configurations",
+            ));
+        }
+        let mut written = 0;
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            written += mine.merge_from_with(theirs, |incoming, incumbent| {
+                incoming.usefulness().value() > incumbent.usefulness().value()
+            })?;
+        }
+        for (mine, theirs) in self
+            .stats
+            .table_predictions
+            .iter_mut()
+            .zip(&other.stats.table_predictions)
+        {
+            *mine += *theirs;
+        }
+        self.stats.base_predictions += other.stats.base_predictions;
+        self.stats.dep_allocations += other.stats.dep_allocations;
+        self.stats.nondep_allocations += other.stats.nondep_allocations;
+        self.stats.allocation_failures += other.stats.allocation_failures;
+        self.stats.allocations_dropped += other.stats.allocations_dropped;
+        Ok(written)
     }
 
     /// Table-major batched probe: computes every request's lookups up front,
@@ -871,6 +1014,167 @@ mod tests {
         // evictable; verify by exhausting its set with fresh allocations.
         let (pred, _) = p.predict(PC, 0, None);
         assert!(pred.is_dependence(), "decay must not erase the prediction");
+    }
+
+    /// Drives a deterministic mixed workload (branches, dependent and
+    /// independent loads) so the predictor has non-trivial state in every
+    /// structure: tables, history, hashers, stats.
+    fn warm(p: &mut Mascot, rounds: u32) {
+        use crate::history::{BranchEvent, BranchKind};
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..rounds {
+            let r = next();
+            p.on_branch(&BranchEvent {
+                pc: 0x500 + (r % 64) * 4,
+                kind: if r % 5 == 0 {
+                    BranchKind::Indirect
+                } else {
+                    BranchKind::Conditional
+                },
+                taken: r % 2 == 0,
+                target: 0x600 + (r % 16) * 4,
+            });
+            let pc = PC + (next() % 24) * 4;
+            let (pred, meta) = p.predict(pc, 0, None);
+            let out = if next() % 3 == 0 {
+                LoadOutcome::independent()
+            } else {
+                LoadOutcome::dependent(dep(
+                    1 + (next() % 7) as u32,
+                    BypassClass::DirectBypass,
+                ))
+            };
+            p.train(pc, meta, pred, &out);
+        }
+    }
+
+    /// Snapshot → restore must reproduce the exact architectural state:
+    /// re-encoding the restored predictor yields the original bytes, and
+    /// continued identical traffic produces identical predictions.
+    #[test]
+    fn snap_roundtrip_is_bit_identical() {
+        let mut p = predictor();
+        warm(&mut p, 400);
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q = Mascot::snap_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = SnapWriter::new();
+        q.snap_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "restored state must re-encode identically");
+        // Continued traffic diverges if any hidden state (hashers, history,
+        // decay phase) was restored wrong.
+        warm(&mut p, 200);
+        warm(&mut q, 200);
+        for i in 0..24u64 {
+            let pc = PC + i * 4;
+            assert_eq!(
+                p.predict(pc, 0, None).0,
+                q.predict(pc, 0, None).0,
+                "divergence at pc {pc:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn snap_roundtrip_preserves_decay_phase_and_ablation() {
+        let mut p =
+            Mascot::without_non_dependence_allocation(small_cfg().with_periodic_decay(7)).unwrap();
+        warm(&mut p, 50);
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let q = Mascot::snap_decode(&mut r).unwrap();
+        assert!(!q.allocates_non_dependencies());
+        assert_eq!(q.name(), "tage-no-nd");
+        let mut w2 = SnapWriter::new();
+        q.snap_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn snap_decode_is_fail_closed() {
+        let mut p = predictor();
+        warm(&mut p, 100);
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let good = w.into_bytes();
+        for cut in 0..good.len() {
+            let mut r = SnapReader::new(&good[..cut]);
+            let decoded = Mascot::snap_decode(&mut r);
+            assert!(
+                decoded.is_err() || r.finish().is_err(),
+                "truncation to {cut} bytes must not decode cleanly"
+            );
+        }
+        // A decay phase at or past the period is inconsistent.
+        let mut p = Mascot::new(small_cfg().with_periodic_decay(3)).unwrap();
+        warm(&mut p, 10);
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // The decay phase is the u32 right after the config and the
+        // ablation flag; locate it by re-encoding just the config.
+        let mut cw = SnapWriter::new();
+        p.config().snap_encode(&mut cw);
+        let off = cw.len() + 1;
+        bytes[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            Mascot::snap_decode(&mut r),
+            Err(SnapError::Corrupt("decay phase exceeds its period"))
+        ));
+    }
+
+    /// Warm resharding: predictors trained on disjoint PC sets union into
+    /// one that serves both, preferring the higher-confidence entry on
+    /// collision.
+    #[test]
+    fn merge_unions_disjoint_knowledge() {
+        let mut a = predictor();
+        let mut b = predictor();
+        let out = |d| LoadOutcome::dependent(dep(d, BypassClass::MdpOnly));
+        for i in 0..8u64 {
+            let pc = 0x1000 + i * 64;
+            for _ in 0..3 {
+                let (pr, meta) = a.predict(pc, 0, None);
+                a.train(pc, meta, pr, &out(2));
+            }
+        }
+        for i in 0..8u64 {
+            let pc = 0x9000 + i * 64;
+            for _ in 0..3 {
+                let (pr, meta) = b.predict(pc, 0, None);
+                b.train(pc, meta, pr, &out(5));
+            }
+        }
+        let before = a.entry_count();
+        let written = a.merge_from(&b).unwrap();
+        assert!(written > 0);
+        assert!(a.entry_count() > before);
+        assert!(a
+            .predict(0x1000, 0, None)
+            .0
+            .is_dependence());
+        assert!(a
+            .predict(0x9000, 0, None)
+            .0
+            .is_dependence());
+        // Stats are summed (each side allocated once per PC, then only
+        // reinforced).
+        assert_eq!(a.stats().dep_allocations, 16);
+        // Mismatched configurations are rejected.
+        let other = Mascot::new(MascotConfig::default()).unwrap();
+        assert!(a.merge_from(&other).is_err());
     }
 
     /// Periodic decay leaves the headline behaviour intact (the paper

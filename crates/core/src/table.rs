@@ -19,6 +19,7 @@
 //! [`INVALID_TAG`]. Real tags are partial-width (≤ 22 bits everywhere in this
 //! workspace), so the sentinel is unreachable by construction.
 
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Tag value marking an invalid (empty) way.
@@ -239,6 +240,115 @@ impl<P> AssocTable<P> {
     pub fn clear(&mut self) {
         self.tags.fill(INVALID_TAG);
     }
+
+    /// Appends the table to a snapshot payload: shape, then one tag per
+    /// slot with the payload (encoded by `enc`) present only for valid
+    /// ways. Payload layouts stay private to the type that owns them.
+    pub fn snap_encode_with<F>(&self, w: &mut SnapWriter, mut enc: F)
+    where
+        F: FnMut(&P, &mut SnapWriter),
+    {
+        w.u32(self.sets as u32);
+        w.u32(self.assoc as u32);
+        for slot in 0..self.tags.len() {
+            w.u64(self.tags[slot]);
+            if self.tags[slot] != INVALID_TAG {
+                enc(&self.data[slot], w);
+            }
+        }
+    }
+}
+
+impl<P: Clone> AssocTable<P> {
+    /// Decodes a table encoded by [`Self::snap_encode_with`], fail-closed:
+    /// the stored shape must equal the shape the caller's configuration
+    /// dictates (`sets`, `assoc`), every stored tag must pass `valid_tag`,
+    /// and `dec` must accept every valid way's payload. On any mismatch the
+    /// error propagates and no table is produced.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on a shape/tag mismatch, plus whatever `dec`
+    /// or the reader return.
+    pub fn snap_decode_with<F, V>(
+        r: &mut SnapReader<'_>,
+        sets: usize,
+        assoc: usize,
+        fill: P,
+        valid_tag: V,
+        mut dec: F,
+    ) -> Result<Self, SnapError>
+    where
+        F: FnMut(&mut SnapReader<'_>) -> Result<P, SnapError>,
+        V: Fn(u64) -> bool,
+    {
+        let stored_sets = r.u32("table set count")? as usize;
+        let stored_assoc = r.u32("table associativity")? as usize;
+        if stored_sets != sets || stored_assoc != assoc {
+            return Err(SnapError::Corrupt("table shape does not match config"));
+        }
+        let mut table = Self::new(sets, assoc, fill);
+        for slot in 0..sets * assoc {
+            let tag = r.u64("slot tag")?;
+            if tag == INVALID_TAG {
+                continue;
+            }
+            if !valid_tag(tag) {
+                return Err(SnapError::Corrupt("slot tag out of range"));
+            }
+            table.tags[slot] = tag;
+            table.data[slot] = dec(r)?;
+        }
+        Ok(table)
+    }
+
+    /// Union-merges `other`'s valid entries into this table (the N→M
+    /// resharding path; see DESIGN.md §10). An incoming entry lands in the
+    /// set its stored index dictates — both tables were indexed by the same
+    /// hash over the same broadcast history, so coordinates are comparable.
+    /// On a tag collision the incumbent is replaced only when
+    /// `prefer_new(incoming, incumbent)`; a full set drops the incoming
+    /// entry unless some way satisfies `prefer_new`. Returns the number of
+    /// entries written.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shapes differ — merging across geometries would
+    /// scramble the index space.
+    pub fn merge_from_with<F>(&mut self, other: &Self, prefer_new: F) -> Result<u64, SnapError>
+    where
+        F: Fn(&P, &P) -> bool,
+    {
+        if self.sets != other.sets || self.assoc != other.assoc {
+            return Err(SnapError::Corrupt("cannot merge tables of different shapes"));
+        }
+        let mut written = 0u64;
+        for slot in 0..other.tags.len() {
+            let tag = other.tags[slot];
+            if tag == INVALID_TAG {
+                continue;
+            }
+            let index = (slot / self.assoc) as u64;
+            let incoming = &other.data[slot];
+            match self.find_mut(index, tag) {
+                Some((_, incumbent)) => {
+                    if prefer_new(incoming, incumbent) {
+                        *incumbent = incoming.clone();
+                        written += 1;
+                    }
+                }
+                None => {
+                    if self
+                        .try_insert(index, tag, incoming.clone(), |p| prefer_new(incoming, p))
+                        .is_some()
+                    {
+                        written += 1;
+                    }
+                }
+            }
+        }
+        Ok(written)
+    }
 }
 
 #[cfg(test)]
@@ -361,5 +471,89 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         let _ = table(3, 4);
+    }
+
+    fn snap_roundtrip(t: &AssocTable<E>) -> AssocTable<E> {
+        let mut w = SnapWriter::new();
+        t.snap_encode_with(&mut w, |p, w| {
+            w.u32(p.v);
+            w.u8(u8::from(p.evictable));
+        });
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let out = AssocTable::snap_decode_with(
+            &mut r,
+            t.sets(),
+            t.assoc(),
+            e(0),
+            |_| true,
+            |r| {
+                Ok(E {
+                    v: r.u32("v")?,
+                    evictable: r.u8("evictable")? != 0,
+                })
+            },
+        )
+        .unwrap();
+        r.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn snap_roundtrip_preserves_every_valid_slot() {
+        let mut t = table(8, 4);
+        t.insert_at(0, 1, 0x11, e(1));
+        t.insert_at(3, 0, 0x22, e(2));
+        t.insert_at(7, 3, 0x33, e(3));
+        let back = snap_roundtrip(&t);
+        assert_eq!(back.occupancy(), 3);
+        for (idx, tag, v) in [(0u64, 0x11u64, 1u32), (3, 0x22, 2), (7, 0x33, 3)] {
+            assert_eq!(back.find(idx, tag).unwrap().1.v, v);
+        }
+        // Empty ways stay empty (fill payload, invalid tag).
+        assert!(!back.is_valid(0, 0));
+    }
+
+    #[test]
+    fn snap_decode_rejects_shape_and_tag_mismatches() {
+        let mut t = table(8, 4);
+        t.insert_at(0, 0, 0x11, e(1));
+        let mut w = SnapWriter::new();
+        t.snap_encode_with(&mut w, |p, w| {
+            w.u32(p.v);
+            w.u8(0);
+        });
+        let bytes = w.into_bytes();
+        // Wrong expected shape.
+        let mut r = SnapReader::new(&bytes);
+        assert!(AssocTable::snap_decode_with(&mut r, 4, 4, e(0), |_| true, |r| {
+            Ok(e(r.u32("v")?))
+        })
+        .is_err());
+        // Tag validator rejects.
+        let mut r = SnapReader::new(&bytes);
+        assert!(AssocTable::snap_decode_with(&mut r, 8, 4, e(0), |t| t < 0x10, |r| {
+            let v = r.u32("v")?;
+            r.u8("evictable")?;
+            Ok(e(v))
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn merge_unions_and_prefers_by_policy() {
+        let mut a = table(4, 2);
+        let mut b = table(4, 2);
+        a.insert_at(0, 0, 0x1, e(10));
+        b.insert_at(1, 0, 0x2, e(20)); // lands in an empty set of a
+        b.insert_at(0, 1, 0x1, e(99)); // same (set, tag) as a's entry
+        let written = a.merge_from_with(&b, |new, old| new.v > old.v).unwrap();
+        assert_eq!(written, 2);
+        assert_eq!(a.find(0, 0x1).unwrap().1.v, 99, "higher value wins");
+        assert_eq!(a.find(1, 0x2).unwrap().1.v, 20);
+        // Merging the other way: a's (0, 0x1) holds 99, so b's 99 vs ... b
+        // gains a's now-better entry; shapes must match.
+        let tiny = table(2, 2);
+        assert!(a.merge_from_with(&tiny, |_, _| false).is_err());
     }
 }

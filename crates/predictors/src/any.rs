@@ -11,6 +11,7 @@ use mascot::prediction::{
     GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, PredictReq, TrainReq,
 };
 use mascot::predictor::{Mascot, MascotMeta};
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::mdp_tage::{MdpTage, MdpTageMeta};
@@ -64,6 +65,20 @@ const _: () = {
     assert_send_static::<AnyPredictor>();
 };
 
+/// Snapshot-payload variant tags for [`AnyPredictor`] — part of the
+/// persisted format, so the values are frozen: renumbering breaks every
+/// existing snapshot.
+mod variant {
+    pub const MASCOT: u8 = 0;
+    pub const MASCOT_MDP: u8 = 1;
+    pub const PHAST: u8 = 2;
+    pub const NOSQ: u8 = 3;
+    pub const MDP_TAGE: u8 = 4;
+    pub const STORE_SETS: u8 = 5;
+    pub const PERFECT_MDP: u8 = 6;
+    pub const PERFECT_MDP_SMB: u8 = 7;
+}
+
 impl AnyPredictor {
     /// The wrapped MASCOT instance, if this is a MASCOT-family predictor
     /// (used by the Figs. 13–14 tuning reports).
@@ -72,6 +87,105 @@ impl AnyPredictor {
             AnyPredictor::Mascot(m) => Some(m),
             AnyPredictor::MascotMdp(m) => Some(m.inner()),
             _ => None,
+        }
+    }
+
+    /// Total valid entries resident in the predictor's tables (0 for the
+    /// stateless oracles) — the snapshot/restore observability unit.
+    pub fn entry_count(&self) -> u64 {
+        match self {
+            AnyPredictor::Mascot(p) => p.entry_count(),
+            AnyPredictor::MascotMdp(p) => p.entry_count(),
+            AnyPredictor::Phast(p) => p.entry_count(),
+            AnyPredictor::NoSq(p) => p.entry_count(),
+            AnyPredictor::MdpTage(p) => p.entry_count(),
+            AnyPredictor::StoreSets(p) => p.entry_count(),
+            AnyPredictor::PerfectMdp(_) | AnyPredictor::PerfectMdpSmb(_) => 0,
+        }
+    }
+
+    /// Serializes the predictor to an opaque snapshot payload: a one-byte
+    /// variant tag followed by the wrapped predictor's own encoding (empty
+    /// for the stateless oracles).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match self {
+            AnyPredictor::Mascot(p) => {
+                w.u8(variant::MASCOT);
+                p.snap_encode(&mut w);
+            }
+            AnyPredictor::MascotMdp(p) => {
+                w.u8(variant::MASCOT_MDP);
+                p.snap_encode(&mut w);
+            }
+            AnyPredictor::Phast(p) => {
+                w.u8(variant::PHAST);
+                p.snap_encode(&mut w);
+            }
+            AnyPredictor::NoSq(p) => {
+                w.u8(variant::NOSQ);
+                p.snap_encode(&mut w);
+            }
+            AnyPredictor::MdpTage(p) => {
+                w.u8(variant::MDP_TAGE);
+                p.snap_encode(&mut w);
+            }
+            AnyPredictor::StoreSets(p) => {
+                w.u8(variant::STORE_SETS);
+                p.snap_encode(&mut w);
+            }
+            AnyPredictor::PerfectMdp(_) => w.u8(variant::PERFECT_MDP),
+            AnyPredictor::PerfectMdpSmb(_) => w.u8(variant::PERFECT_MDP_SMB),
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a predictor from a payload produced by
+    /// [`AnyPredictor::snapshot_bytes`], fail-closed: unknown variant tags,
+    /// truncation, trailing bytes, or any inner inconsistency reject the
+    /// whole payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] from the inner decode, or
+    /// [`SnapError::Corrupt`] for an unknown variant tag.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let p = match r.u8("predictor variant tag")? {
+            variant::MASCOT => AnyPredictor::Mascot(Mascot::snap_decode(&mut r)?),
+            variant::MASCOT_MDP => AnyPredictor::MascotMdp(MascotMdpOnly::snap_decode(&mut r)?),
+            variant::PHAST => AnyPredictor::Phast(Phast::snap_decode(&mut r)?),
+            variant::NOSQ => AnyPredictor::NoSq(NoSq::snap_decode(&mut r)?),
+            variant::MDP_TAGE => AnyPredictor::MdpTage(MdpTage::snap_decode(&mut r)?),
+            variant::STORE_SETS => AnyPredictor::StoreSets(StoreSets::snap_decode(&mut r)?),
+            variant::PERFECT_MDP => AnyPredictor::PerfectMdp(PerfectMdp::new()),
+            variant::PERFECT_MDP_SMB => AnyPredictor::PerfectMdpSmb(PerfectMdpSmb::new()),
+            _ => return Err(SnapError::Corrupt("unknown predictor variant tag")),
+        };
+        r.finish()?;
+        Ok(p)
+    }
+
+    /// Folds another predictor's state into this one — the warm-resharding
+    /// merge. Both must wrap the same variant (and, transitively, the same
+    /// configuration). Returns the number of entries written from `other`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on a variant or configuration mismatch.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, SnapError> {
+        match (self, other) {
+            (AnyPredictor::Mascot(a), AnyPredictor::Mascot(b)) => a.merge_from(b),
+            (AnyPredictor::MascotMdp(a), AnyPredictor::MascotMdp(b)) => a.merge_from(b),
+            (AnyPredictor::Phast(a), AnyPredictor::Phast(b)) => a.merge_from(b),
+            (AnyPredictor::NoSq(a), AnyPredictor::NoSq(b)) => a.merge_from(b),
+            (AnyPredictor::MdpTage(a), AnyPredictor::MdpTage(b)) => a.merge_from(b),
+            (AnyPredictor::StoreSets(a), AnyPredictor::StoreSets(b)) => a.merge_from(b),
+            (AnyPredictor::PerfectMdp(_), AnyPredictor::PerfectMdp(_))
+            | (AnyPredictor::PerfectMdpSmb(_), AnyPredictor::PerfectMdpSmb(_)) => Ok(0),
+            _ => Err(SnapError::Corrupt(
+                "cannot merge different predictor kinds",
+            )),
         }
     }
 }
@@ -410,6 +524,95 @@ mod tests {
             Mascot::without_non_dependence_allocation(MascotConfig::default()).unwrap(),
         );
         assert_eq!(p.name(), "tage-no-nd");
+    }
+
+    use mascot::history::BranchKind;
+    use mascot::prediction::{BypassClass, ObservedDependence, StoreDistance};
+
+    fn drive(p: &mut AnyPredictor, rounds: u64, salt: u64) {
+        let mut rng = 0x243f_6a88_85a3_08d3_u64 ^ salt;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut store_seq = 0u64;
+        for r in 0..rounds {
+            p.on_branch(&BranchEvent {
+                pc: 0x600 + (r % 32) * 4,
+                kind: BranchKind::Conditional,
+                taken: r % 3 != 0,
+                target: 0,
+            });
+            let store_pc = 0x7000 + (next() % 16) * 8;
+            p.on_store_dispatch(store_pc, store_seq);
+            store_seq += 1;
+            let pc = 0x4000 + (next() % 24) * 4;
+            let (pred, meta) = p.predict(pc, store_seq, None);
+            let outcome = if next() % 3 == 0 {
+                LoadOutcome::independent()
+            } else {
+                LoadOutcome::dependent(ObservedDependence {
+                    distance: StoreDistance::new(1 + (next() % 7) as u32).unwrap(),
+                    class: BypassClass::DirectBypass,
+                    store_pc,
+                    branches_between: (next() % 4) as u32,
+                })
+            };
+            p.train(pc, meta, pred, &outcome);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_every_kind() {
+        use crate::kind::PredictorKind;
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build();
+            drive(&mut p, 300, 0x11);
+            let bytes = p.snapshot_bytes();
+            let mut q = AnyPredictor::from_snapshot_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{kind:?}: restore failed: {e}"));
+            assert_eq!(q.snapshot_bytes(), bytes, "{kind:?}: re-encode differs");
+            assert_eq!(q.entry_count(), p.entry_count(), "{kind:?}");
+            drive(&mut p, 150, 0x22);
+            drive(&mut q, 150, 0x22);
+            assert_eq!(
+                q.snapshot_bytes(),
+                p.snapshot_bytes(),
+                "{kind:?}: diverged after identical post-restore traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_bad_variants() {
+        assert!(AnyPredictor::from_snapshot_bytes(&[]).is_err());
+        assert!(AnyPredictor::from_snapshot_bytes(&[0xff]).is_err());
+        // A stateless oracle body must be exactly empty.
+        assert!(AnyPredictor::from_snapshot_bytes(&[6, 0]).is_err());
+        let mut p = AnyPredictor::StoreSets(StoreSets::default());
+        drive(&mut p, 50, 0x33);
+        let bytes = p.snapshot_bytes();
+        for cut in [1, 2, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                AnyPredictor::from_snapshot_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_kind_mismatch() {
+        let mut a = AnyPredictor::Phast(Phast::default());
+        let b = AnyPredictor::NoSq(NoSq::default());
+        assert!(a.merge_from(&b).is_err());
+        let mut o = AnyPredictor::PerfectMdp(PerfectMdp::new());
+        assert_eq!(
+            o.merge_from(&AnyPredictor::PerfectMdp(PerfectMdp::new()))
+                .unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use mascot::prediction::{
 };
 use mascot::predictor::TableLookup;
 use mascot::table::AssocTable;
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Maximum tables supported by the fixed-size metadata.
@@ -45,6 +46,68 @@ impl Default for MdpTageConfig {
     }
 }
 
+impl MdpTageConfig {
+    fn check(&self) -> Result<(), SnapError> {
+        let n = self.history_lengths.len();
+        if n == 0 || n > MAX_TABLES || self.table_entries.len() != n {
+            return Err(SnapError::Corrupt("mdp-tage config shape is invalid"));
+        }
+        if self.associativity == 0 {
+            return Err(SnapError::Corrupt("mdp-tage associativity is zero"));
+        }
+        for &e in &self.table_entries {
+            if e == 0
+                || e % self.associativity != 0
+                || !(e / self.associativity).is_power_of_two()
+            {
+                return Err(SnapError::Corrupt("mdp-tage table size is invalid"));
+            }
+        }
+        if self.history_lengths.iter().any(|&h| h > 1 << 20) {
+            return Err(SnapError::Corrupt("mdp-tage history length out of range"));
+        }
+        if self.tag_bits == 0 || self.tag_bits > 30 {
+            return Err(SnapError::Corrupt("mdp-tage tag width out of range"));
+        }
+        Ok(())
+    }
+
+    fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u32(self.history_lengths.len() as u32);
+        for &h in &self.history_lengths {
+            w.u32(h);
+        }
+        for &e in &self.table_entries {
+            w.u32(e);
+        }
+        w.u8(self.tag_bits);
+        w.u32(self.associativity);
+    }
+
+    fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.u32("mdp-tage config table count")? as usize;
+        if n == 0 || n > MAX_TABLES {
+            return Err(SnapError::Corrupt("mdp-tage config table count out of range"));
+        }
+        let mut history_lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            history_lengths.push(r.u32("mdp-tage history length")?);
+        }
+        let mut table_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            table_entries.push(r.u32("mdp-tage table entries")?);
+        }
+        let cfg = Self {
+            history_lengths,
+            table_entries,
+            tag_bits: r.u8("mdp-tage tag width")?,
+            associativity: r.u32("mdp-tage associativity")?,
+        };
+        cfg.check()?;
+        Ok(cfg)
+    }
+}
+
 /// Entry payload; the tag lives in the table's SoA tag lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct MdpTageEntry {
@@ -52,6 +115,24 @@ struct MdpTageEntry {
     distance: u8,
     /// Single usefulness bit.
     useful: bool,
+}
+
+impl MdpTageEntry {
+    fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u8(self.distance);
+        w.bool(self.useful);
+    }
+
+    fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let distance = r.u8("mdp-tage entry distance")?;
+        if !(1..=7).contains(&distance) {
+            return Err(SnapError::Corrupt("mdp-tage entry distance out of range"));
+        }
+        Ok(Self {
+            distance,
+            useful: r.bool("mdp-tage entry usefulness bit")?,
+        })
+    }
 }
 
 /// Per-prediction metadata for [`MdpTage`].
@@ -158,6 +239,77 @@ impl MdpTage {
             }
             self.tables[t].for_each_valid_mut(u64::from(lk.index), |_, e| e.useful = false);
         }
+    }
+
+    /// Total valid entries across all tables.
+    pub fn entry_count(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupancy() as u64).sum()
+    }
+
+    /// Serializes the full state (configuration, tables, history). Hashers
+    /// are recomputed from the history on decode.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        self.cfg.snap_encode(w);
+        self.history.snap_encode(w);
+        for table in &self.tables {
+            table.snap_encode_with(w, |e, w| e.snap_encode(w));
+        }
+    }
+
+    /// Decodes a predictor from a snapshot payload, fail-closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any field inconsistent with the
+    /// embedded configuration.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cfg = MdpTageConfig::snap_decode(r)?;
+        let mut p = Self::new(cfg);
+        let history = GlobalHistory::snap_decode(r)?;
+        if history.capacity() != p.history.capacity() {
+            return Err(SnapError::Corrupt("mdp-tage history capacity mismatch"));
+        }
+        p.history = history;
+        for hasher in &mut p.hashers {
+            hasher.recompute(&p.history);
+        }
+        let fill = MdpTageEntry {
+            distance: 0,
+            useful: false,
+        };
+        let tag_limit = 1u64 << p.cfg.tag_bits;
+        for i in 0..p.tables.len() {
+            p.tables[i] = AssocTable::snap_decode_with(
+                r,
+                (p.cfg.table_entries[i] / p.cfg.associativity) as usize,
+                p.cfg.associativity as usize,
+                fill,
+                |t| t < tag_limit,
+                MdpTageEntry::snap_decode,
+            )?;
+        }
+        Ok(p)
+    }
+
+    /// Folds another predictor's tables into this one (warm resharding),
+    /// preferring useful entries over un-useful ones on collision.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the configurations differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, SnapError> {
+        if self.cfg != other.cfg {
+            return Err(SnapError::Corrupt(
+                "cannot merge mdp-tage predictors with different configurations",
+            ));
+        }
+        let mut written = 0;
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            written += mine.merge_from_with(theirs, |incoming, incumbent| {
+                incoming.useful && !incumbent.useful
+            })?;
+        }
+        Ok(written)
     }
 }
 
@@ -335,6 +487,60 @@ mod tests {
         // The provider matched but was unuseful; a conflicting distance of 2
         // re-allocates/re-arms, so the dependence comes back.
         assert!(p.predict(pc, 0, None).0.is_dependence());
+    }
+
+    #[test]
+    fn snap_roundtrip_is_bit_identical() {
+        use mascot::history::BranchKind;
+        let mut p = MdpTage::default();
+        for i in 0..100u64 {
+            p.on_branch(&BranchEvent {
+                pc: 0x100 + (i % 16) * 4,
+                kind: BranchKind::Conditional,
+                taken: i % 2 == 0,
+                target: 0x180,
+            });
+            let pc = 0x2000 + (i % 6) * 8;
+            let (pr, m) = p.predict(pc, 0, None);
+            let out = if i % 4 == 0 {
+                LoadOutcome::independent()
+            } else {
+                dep(1 + (i % 7) as u32)
+            };
+            p.train(pc, m, pr, &out);
+        }
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q = MdpTage::snap_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = SnapWriter::new();
+        q.snap_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        for i in 0..6u64 {
+            let pc = 0x2000 + i * 8;
+            assert_eq!(p.predict(pc, 0, None).0, q.predict(pc, 0, None).0);
+        }
+        for cut in [0, 2, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            let decoded = MdpTage::snap_decode(&mut r);
+            assert!(decoded.is_err() || r.finish().is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_unions_disjoint_entries() {
+        let mut a = MdpTage::default();
+        let mut b = MdpTage::default();
+        let (pr, m) = a.predict(0x2000, 0, None);
+        a.train(0x2000, m, pr, &dep(3));
+        let (pr, m) = b.predict(0x7000, 0, None);
+        b.train(0x7000, m, pr, &dep(5));
+        let written = a.merge_from(&b).unwrap();
+        assert_eq!(written, 1);
+        assert!(a.predict(0x2000, 0, None).0.is_dependence());
+        assert!(a.predict(0x7000, 0, None).0.is_dependence());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use mascot::prediction::{
 };
 use mascot::predictor::TableLookup;
 use mascot::table::AssocTable;
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
@@ -49,12 +50,79 @@ impl Default for NoSqConfig {
     }
 }
 
+impl NoSqConfig {
+    fn check(&self) -> Result<(), SnapError> {
+        if self.associativity == 0
+            || self.entries_per_table == 0
+            || self.entries_per_table % self.associativity != 0
+            || !(self.entries_per_table / self.associativity).is_power_of_two()
+        {
+            return Err(SnapError::Corrupt("nosq table geometry is invalid"));
+        }
+        if self.tag_bits == 0 || self.tag_bits > 30 {
+            return Err(SnapError::Corrupt("nosq tag width out of range"));
+        }
+        if !(1..=7).contains(&self.confidence_bits) {
+            return Err(SnapError::Corrupt("nosq confidence width out of range"));
+        }
+        if self.history_len > 1 << 20 {
+            return Err(SnapError::Corrupt("nosq history length out of range"));
+        }
+        Ok(())
+    }
+
+    fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u32(self.entries_per_table);
+        w.u32(self.associativity);
+        w.u8(self.tag_bits);
+        w.u8(self.confidence_bits);
+        w.u32(self.history_len);
+    }
+
+    fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cfg = Self {
+            entries_per_table: r.u32("nosq entries per table")?,
+            associativity: r.u32("nosq associativity")?,
+            tag_bits: r.u8("nosq tag width")?,
+            confidence_bits: r.u8("nosq confidence width")?,
+            history_len: r.u32("nosq history length")?,
+        };
+        cfg.check()?;
+        Ok(cfg)
+    }
+}
+
 /// Entry payload; the tag lives in the table's SoA tag lane.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct NoSqEntry {
     distance: u8,
     confidence: SaturatingCounter,
     lru: u8,
+}
+
+impl NoSqEntry {
+    fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u8(self.distance);
+        self.confidence.snap_encode(w);
+        w.u8(self.lru);
+    }
+
+    fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let distance = r.u8("nosq entry distance")?;
+        if !(1..=127).contains(&distance) {
+            return Err(SnapError::Corrupt("nosq entry distance out of range"));
+        }
+        let confidence = SaturatingCounter::snap_decode(r)?;
+        let lru = r.u8("nosq entry lru")?;
+        if lru > 3 {
+            return Err(SnapError::Corrupt("nosq entry lru exceeds 2 bits"));
+        }
+        Ok(Self {
+            distance,
+            confidence,
+            lru,
+        })
+    }
 }
 
 /// Which table provided a prediction.
@@ -187,6 +255,83 @@ impl NoSq {
                 e.lru = e.lru.saturating_sub(1);
             }
         });
+    }
+
+    /// Total valid entries across both tables.
+    pub fn entry_count(&self) -> u64 {
+        (self.path_dep.occupancy() + self.path_indep.occupancy()) as u64
+    }
+
+    /// Serializes the full state (configuration, both tables, history).
+    /// Hashers are recomputed from the history on decode.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        self.cfg.snap_encode(w);
+        self.history.snap_encode(w);
+        self.path_dep.snap_encode_with(w, |e, w| e.snap_encode(w));
+        self.path_indep.snap_encode_with(w, |e, w| e.snap_encode(w));
+    }
+
+    /// Decodes a predictor from a snapshot payload, fail-closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any field inconsistent with the
+    /// embedded configuration.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cfg = NoSqConfig::snap_decode(r)?;
+        let mut p = Self::new(cfg);
+        let history = GlobalHistory::snap_decode(r)?;
+        if history.capacity() != p.history.capacity() {
+            return Err(SnapError::Corrupt("nosq history capacity mismatch"));
+        }
+        p.history = history;
+        p.dep_hasher.recompute(&p.history);
+        p.indep_hasher.recompute(&p.history);
+        let fill = NoSqEntry {
+            distance: 0,
+            confidence: SaturatingCounter::new(p.cfg.confidence_bits, 0),
+            lru: 0,
+        };
+        let sets = (p.cfg.entries_per_table / p.cfg.associativity) as usize;
+        let assoc = p.cfg.associativity as usize;
+        let tag_limit = 1u64 << p.cfg.tag_bits;
+        p.path_dep = AssocTable::snap_decode_with(
+            r,
+            sets,
+            assoc,
+            fill.clone(),
+            |t| t < tag_limit,
+            NoSqEntry::snap_decode,
+        )?;
+        p.path_indep = AssocTable::snap_decode_with(
+            r,
+            sets,
+            assoc,
+            fill,
+            |t| t < tag_limit,
+            NoSqEntry::snap_decode,
+        )?;
+        Ok(p)
+    }
+
+    /// Folds another predictor's tables into this one (warm resharding),
+    /// preferring the higher-confidence entry on collision.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the configurations differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, SnapError> {
+        if self.cfg != other.cfg {
+            return Err(SnapError::Corrupt(
+                "cannot merge nosq predictors with different configurations",
+            ));
+        }
+        let prefer = |incoming: &NoSqEntry, incumbent: &NoSqEntry| {
+            incoming.confidence.value() > incumbent.confidence.value()
+        };
+        let mut written = self.path_dep.merge_from_with(&other.path_dep, prefer)?;
+        written += self.path_indep.merge_from_with(&other.path_indep, prefer)?;
+        Ok(written)
     }
 }
 
@@ -451,6 +596,60 @@ mod tests {
         p.on_branch(&branch(true));
         let (pred_taken, _) = p.predict(pc, 0, None);
         assert!(pred_taken.is_dependence());
+    }
+
+    #[test]
+    fn snap_roundtrip_is_bit_identical() {
+        use mascot::history::BranchKind;
+        let mut p = NoSq::default();
+        for i in 0..150u64 {
+            p.on_branch(&BranchEvent {
+                pc: 0x100 + (i % 16) * 4,
+                kind: BranchKind::Conditional,
+                taken: i % 2 == 0,
+                target: 0x180,
+            });
+            let pc = 0x4400 + (i % 8) * 16;
+            let (pr, meta) = p.predict(pc, i, None);
+            let out = if i % 5 == 0 {
+                LoadOutcome::independent()
+            } else {
+                dep(1 + (i % 7) as u32)
+            };
+            p.train(pc, meta, pr, &out);
+        }
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q = NoSq::snap_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = SnapWriter::new();
+        q.snap_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        for i in 0..8u64 {
+            let pc = 0x4400 + i * 16;
+            assert_eq!(p.predict(pc, 200, None).0, q.predict(pc, 200, None).0);
+        }
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            let decoded = NoSq::snap_decode(&mut r);
+            assert!(decoded.is_err() || r.finish().is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_unions_disjoint_entries() {
+        let mut a = NoSq::default();
+        let mut b = NoSq::default();
+        let (pr, meta) = a.predict(0x1000, 0, None);
+        a.train(0x1000, meta, pr, &dep(2));
+        let (pr, meta) = b.predict(0x8000, 0, None);
+        b.train(0x8000, meta, pr, &dep(5));
+        let written = a.merge_from(&b).unwrap();
+        assert!(written >= 2, "path-dep + path-indep entries: {written}");
+        assert!(a.predict(0x1000, 6, None).0.is_dependence());
+        assert!(a.predict(0x8000, 6, None).0.is_dependence());
     }
 
     /// Replacement prefers an invalid way before evicting live entries.

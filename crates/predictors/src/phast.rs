@@ -19,6 +19,7 @@ use mascot::prediction::{
 };
 use mascot::predictor::TableLookup;
 use mascot::table::AssocTable;
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use mascot_stats::SaturatingCounter;
 use serde::{Deserialize, Serialize};
 
@@ -55,12 +56,112 @@ impl Default for PhastConfig {
     }
 }
 
+impl PhastConfig {
+    /// The constraints [`Phast::new`] enforces by panicking, as a result —
+    /// used by the snapshot decoder, which must fail closed instead.
+    fn check(&self) -> Result<(), SnapError> {
+        let n = self.history_lengths.len();
+        if n == 0 || n > MAX_TABLES || self.table_entries.len() != n {
+            return Err(SnapError::Corrupt("phast config shape is invalid"));
+        }
+        if self.associativity == 0 {
+            return Err(SnapError::Corrupt("phast associativity is zero"));
+        }
+        for &e in &self.table_entries {
+            if e == 0 || e % self.associativity != 0 {
+                return Err(SnapError::Corrupt("phast table size is invalid"));
+            }
+            if !(e / self.associativity).is_power_of_two() {
+                return Err(SnapError::Corrupt("phast set count is not a power of two"));
+            }
+        }
+        if self.history_lengths.iter().any(|&h| h > 1 << 20) {
+            return Err(SnapError::Corrupt("phast history length out of range"));
+        }
+        if self.tag_bits == 0 || self.tag_bits > 30 {
+            return Err(SnapError::Corrupt("phast tag width out of range"));
+        }
+        if !(1..=7).contains(&self.usefulness_bits)
+            || self.alloc_usefulness > (1 << self.usefulness_bits) - 1
+        {
+            return Err(SnapError::Corrupt("phast counter widths are invalid"));
+        }
+        Ok(())
+    }
+
+    fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u32(self.history_lengths.len() as u32);
+        for &h in &self.history_lengths {
+            w.u32(h);
+        }
+        for &e in &self.table_entries {
+            w.u32(e);
+        }
+        w.u8(self.tag_bits);
+        w.u8(self.usefulness_bits);
+        w.u32(self.associativity);
+        w.u8(self.alloc_usefulness);
+    }
+
+    fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.u32("phast config table count")? as usize;
+        if n == 0 || n > MAX_TABLES {
+            return Err(SnapError::Corrupt("phast config table count out of range"));
+        }
+        let mut history_lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            history_lengths.push(r.u32("phast history length")?);
+        }
+        let mut table_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            table_entries.push(r.u32("phast table entries")?);
+        }
+        let cfg = Self {
+            history_lengths,
+            table_entries,
+            tag_bits: r.u8("phast tag width")?,
+            usefulness_bits: r.u8("phast usefulness width")?,
+            associativity: r.u32("phast associativity")?,
+            alloc_usefulness: r.u8("phast allocation usefulness")?,
+        };
+        cfg.check()?;
+        Ok(cfg)
+    }
+}
+
 /// Entry payload; the tag lives in the table's SoA tag lane.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct PhastEntry {
     distance: u8,
     usefulness: SaturatingCounter,
     lru: u8,
+}
+
+impl PhastEntry {
+    fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u8(self.distance);
+        self.usefulness.snap_encode(w);
+        w.u8(self.lru);
+    }
+
+    fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let distance = r.u8("phast entry distance")?;
+        // PHAST records dependencies only: valid entries always carry a
+        // real distance.
+        if !(1..=127).contains(&distance) {
+            return Err(SnapError::Corrupt("phast entry distance out of range"));
+        }
+        let usefulness = SaturatingCounter::snap_decode(r)?;
+        let lru = r.u8("phast entry lru")?;
+        if lru > 3 {
+            return Err(SnapError::Corrupt("phast entry lru exceeds 2 bits"));
+        }
+        Ok(Self {
+            distance,
+            usefulness,
+            lru,
+        })
+    }
 }
 
 /// Per-prediction metadata for [`Phast`].
@@ -216,6 +317,78 @@ impl Phast {
                 table.for_each_valid_mut(index, |_, e| e.usefulness.decrement());
             }
         }
+    }
+
+    /// Total valid entries across all tables.
+    pub fn entry_count(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupancy() as u64).sum()
+    }
+
+    /// Serializes the full state (configuration, tables, history). Hashers
+    /// are recomputed from the history on decode.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        self.cfg.snap_encode(w);
+        self.history.snap_encode(w);
+        for table in &self.tables {
+            table.snap_encode_with(w, |e, w| e.snap_encode(w));
+        }
+    }
+
+    /// Decodes a predictor from a snapshot payload, fail-closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any field inconsistent with the
+    /// embedded configuration.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cfg = PhastConfig::snap_decode(r)?;
+        let mut p = Self::new(cfg);
+        let history = GlobalHistory::snap_decode(r)?;
+        if history.capacity() != p.history.capacity() {
+            return Err(SnapError::Corrupt("phast history capacity mismatch"));
+        }
+        p.history = history;
+        for hasher in &mut p.hashers {
+            hasher.recompute(&p.history);
+        }
+        let fill = PhastEntry {
+            distance: 0,
+            usefulness: SaturatingCounter::new(p.cfg.usefulness_bits, 0),
+            lru: 0,
+        };
+        let tag_limit = 1u64 << p.cfg.tag_bits;
+        for i in 0..p.tables.len() {
+            p.tables[i] = AssocTable::snap_decode_with(
+                r,
+                (p.cfg.table_entries[i] / p.cfg.associativity) as usize,
+                p.cfg.associativity as usize,
+                fill.clone(),
+                |t| t < tag_limit,
+                PhastEntry::snap_decode,
+            )?;
+        }
+        Ok(p)
+    }
+
+    /// Folds another predictor's tables into this one (warm resharding),
+    /// preferring the higher-usefulness entry on collision.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the configurations differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, SnapError> {
+        if self.cfg != other.cfg {
+            return Err(SnapError::Corrupt(
+                "cannot merge phast predictors with different configurations",
+            ));
+        }
+        let mut written = 0;
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            written += mine.merge_from_with(theirs, |incoming, incumbent| {
+                incoming.usefulness.value() > incumbent.usefulness.value()
+            })?;
+        }
+        Ok(written)
     }
 }
 
@@ -413,6 +586,65 @@ mod tests {
             .iter_occupied()
             .any(|(_, e)| e.usefulness.is_zero());
         assert!(any_zero);
+    }
+
+    #[test]
+    fn snap_roundtrip_is_bit_identical() {
+        use mascot::history::BranchKind;
+        let mut p = Phast::default();
+        for i in 0..120u64 {
+            p.on_branch(&BranchEvent {
+                pc: 0x100 + (i % 32) * 4,
+                kind: BranchKind::Conditional,
+                taken: i % 3 == 0,
+                target: 0x200,
+            });
+            let pc = 0x4000 + (i % 10) * 8;
+            let (pr, meta) = p.predict(pc, 0, None);
+            let out = if i % 4 == 0 {
+                LoadOutcome::independent()
+            } else {
+                dep(1 + (i % 6) as u32, (i % 9) as u32)
+            };
+            p.train(pc, meta, pr, &out);
+        }
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q = Phast::snap_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = SnapWriter::new();
+        q.snap_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        for i in 0..10u64 {
+            let pc = 0x4000 + i * 8;
+            assert_eq!(p.predict(pc, 0, None).0, q.predict(pc, 0, None).0);
+        }
+        // Fail-closed on truncation.
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            let decoded = Phast::snap_decode(&mut r);
+            assert!(decoded.is_err() || r.finish().is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_unions_disjoint_entries() {
+        let mut a = Phast::default();
+        let mut b = Phast::default();
+        for pc in [0x1000u64, 0x1040] {
+            let (pr, meta) = a.predict(pc, 0, None);
+            a.train(pc, meta, pr, &dep(2, 0));
+        }
+        for pc in [0x8000u64, 0x8040] {
+            let (pr, meta) = b.predict(pc, 0, None);
+            b.train(pc, meta, pr, &dep(5, 0));
+        }
+        let written = a.merge_from(&b).unwrap();
+        assert_eq!(written, 2);
+        assert!(a.predict(0x1000, 0, None).0.is_dependence());
+        assert!(a.predict(0x8000, 0, None).0.is_dependence());
     }
 
     #[test]

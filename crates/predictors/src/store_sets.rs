@@ -17,6 +17,7 @@ use mascot::history::BranchEvent;
 use mascot::prediction::{
     GroundTruth, LoadOutcome, MemDepPredictor, MemDepPrediction, StoreDistance,
 };
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`StoreSets`].
@@ -158,6 +159,116 @@ impl StoreSets {
             self.ssit.fill(NO_SSID);
             self.lfst.fill(NO_STORE);
         }
+    }
+
+    /// Assigned SSIT slots (the snapshot/restore "entries" accounting unit).
+    pub fn entry_count(&self) -> u64 {
+        self.ssit.iter().filter(|&&s| s != NO_SSID).count() as u64
+    }
+
+    /// Serializes the full state: configuration, both tables, the SSID
+    /// allocator cursor and the clearing-phase counter.
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u32(self.cfg.ssit_entries as u32);
+        w.u32(self.cfg.lfst_entries as u32);
+        w.u8(self.cfg.ssid_bits);
+        w.u8(self.cfg.store_id_bits);
+        w.u64(self.cfg.clear_interval);
+        w.u16(self.next_ssid);
+        w.u64(self.trains);
+        for &s in &self.ssit {
+            w.u16(s);
+        }
+        for &l in &self.lfst {
+            w.u64(l);
+        }
+    }
+
+    /// Decodes a predictor from a snapshot payload, fail-closed: table
+    /// sizes must be powers of two within sane limits and every stored SSID
+    /// must fit the configured width (or be the invalid sentinel).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or any out-of-range field.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let ssit_entries = r.u32("store-sets ssit size")? as usize;
+        let lfst_entries = r.u32("store-sets lfst size")? as usize;
+        let ssid_bits = r.u8("store-sets ssid width")?;
+        let store_id_bits = r.u8("store-sets store-id width")?;
+        let clear_interval = r.u64("store-sets clear interval")?;
+        if !ssit_entries.is_power_of_two()
+            || !lfst_entries.is_power_of_two()
+            || ssit_entries > 1 << 24
+            || lfst_entries > 1 << 24
+        {
+            return Err(SnapError::Corrupt("store-sets table size is invalid"));
+        }
+        if ssid_bits == 0 || ssid_bits > 15 {
+            return Err(SnapError::Corrupt("store-sets ssid width out of range"));
+        }
+        if clear_interval == 0 {
+            return Err(SnapError::Corrupt("store-sets clear interval is zero"));
+        }
+        let next_ssid = r.u16("store-sets ssid cursor")?;
+        let trains = r.u64("store-sets training counter")?;
+        let ssid_limit = 1u16 << ssid_bits;
+        let mut ssit = Vec::with_capacity(ssit_entries);
+        for _ in 0..ssit_entries {
+            let s = r.u16("store-sets ssit slot")?;
+            if s != NO_SSID && s >= ssid_limit {
+                return Err(SnapError::Corrupt("store-sets ssid exceeds its width"));
+            }
+            ssit.push(s);
+        }
+        let mut lfst = Vec::with_capacity(lfst_entries);
+        for _ in 0..lfst_entries {
+            lfst.push(r.u64("store-sets lfst slot")?);
+        }
+        Ok(Self {
+            cfg: StoreSetsConfig {
+                ssit_entries,
+                lfst_entries,
+                ssid_bits,
+                store_id_bits,
+                clear_interval,
+            },
+            ssit,
+            lfst,
+            next_ssid,
+            trains,
+        })
+    }
+
+    /// Folds another predictor's tables into this one (warm resharding):
+    /// element-wise union where `self`'s assignments win conflicts, the
+    /// SSID allocator cursor advances to the larger of the two, and the
+    /// clearing-phase counters sum (both halves aged the merged tables).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the configurations differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<u64, SnapError> {
+        if self.cfg != other.cfg {
+            return Err(SnapError::Corrupt(
+                "cannot merge store-sets predictors with different configurations",
+            ));
+        }
+        let mut written = 0;
+        for (mine, &theirs) in self.ssit.iter_mut().zip(&other.ssit) {
+            if *mine == NO_SSID && theirs != NO_SSID {
+                *mine = theirs;
+                written += 1;
+            }
+        }
+        for (mine, &theirs) in self.lfst.iter_mut().zip(&other.lfst) {
+            if *mine == NO_STORE && theirs != NO_STORE {
+                *mine = theirs;
+            }
+        }
+        self.next_ssid = self.next_ssid.max(other.next_ssid);
+        self.trains += other.trains;
+        Ok(written)
     }
 }
 
@@ -324,6 +435,72 @@ mod tests {
             p.train(0x5000, (), MemDepPrediction::NoDependence, &LoadOutcome::independent());
         }
         assert!(p.ssit.iter().all(|&s| s == NO_SSID));
+    }
+
+    #[test]
+    fn snap_roundtrip_is_bit_identical() {
+        let mut p = StoreSets::default();
+        for i in 0..40u64 {
+            let load_pc = 0x1000 + (i % 10) * 8;
+            let store_pc = 0x9000 + (i % 10) * 8;
+            let (pr, m) = p.predict(load_pc, i, None);
+            p.train(load_pc, m, pr, &dep_at(1 + (i % 5) as u32, store_pc));
+            p.on_store_dispatch(store_pc, i + 1);
+        }
+        let mut w = SnapWriter::new();
+        p.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q = StoreSets::snap_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = SnapWriter::new();
+        q.snap_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        assert_eq!(p.entry_count(), q.entry_count());
+        for i in 0..10u64 {
+            let pc = 0x1000 + i * 8;
+            assert_eq!(p.predict(pc, 45, None).0, q.predict(pc, 45, None).0);
+        }
+        for cut in [0, 9, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            let decoded = StoreSets::snap_decode(&mut r);
+            assert!(decoded.is_err() || r.finish().is_err(), "cut {cut}");
+        }
+        // A stored SSID wider than the configured field fails closed.
+        let mut corrupt = bytes.clone();
+        // next_ssid sits after two u32 sizes + two u8 widths + u64 interval.
+        let ssit_start = 4 + 4 + 1 + 1 + 8 + 2 + 8;
+        corrupt[ssit_start..ssit_start + 2].copy_from_slice(&0x5000u16.to_le_bytes());
+        let mut r = SnapReader::new(&corrupt);
+        assert!(matches!(
+            StoreSets::snap_decode(&mut r),
+            Err(SnapError::Corrupt("store-sets ssid exceeds its width"))
+        ));
+    }
+
+    #[test]
+    fn merge_keeps_own_assignments_and_fills_gaps() {
+        let mut a = StoreSets::default();
+        let mut b = StoreSets::default();
+        a.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x2000));
+        b.train(0x3000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x4000));
+        // Collide on purpose: both assign 0x1000's slot.
+        b.train(0x1000, (), MemDepPrediction::NoDependence, &dep_at(1, 0x5000));
+        let a_ssid = a.ssid_at(a.ssit_index(0x1000)).unwrap();
+        let written = a.merge_from(&b).unwrap();
+        assert!(written >= 2, "got {written}");
+        // Self wins the conflict...
+        assert_eq!(a.ssid_at(a.ssit_index(0x1000)), Some(a_ssid));
+        // ...and b's disjoint pair arrived.
+        assert!(a.ssid_at(a.ssit_index(0x3000)).is_some());
+        assert!(a.ssid_at(a.ssit_index(0x4000)).is_some());
+        assert_eq!(a.trains, 1 + 2);
+        // Config mismatch is rejected.
+        let other = StoreSets::new(StoreSetsConfig {
+            clear_interval: 7,
+            ..Default::default()
+        });
+        assert!(a.merge_from(&other).is_err());
     }
 
     #[test]

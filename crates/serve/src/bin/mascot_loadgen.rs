@@ -5,6 +5,7 @@
 //!                [--shards N] [--threads N] [--batch N]
 //!                [--duration-ms N] [--train-every N] [--open-loop QPS]
 //!                [--smoke] [--check]
+//!                [--fingerprint-file PATH] [--shutdown]
 //! ```
 //!
 //! Each client thread owns one connection and issues predict batches of
@@ -27,6 +28,15 @@
 //! against the committed file and fails on a large regression; `--smoke`
 //! is a short correctness run (nonzero QPS, zero lost, clean shutdown)
 //! that writes nothing.
+//!
+//! Control modes (both require `--addr`, and skip the load run):
+//! `--fingerprint-file PATH` probes a fixed PC set with predict-only
+//! traffic — training nothing, so the probe does not perturb the state it
+//! records — and writes one line per PC; two files from behaviorally
+//! identical servers are byte-identical, which is how `scripts/check.sh`
+//! proves a snapshot/restore cycle preserved the predictor. `--shutdown`
+//! sends a graceful shutdown. Both print the server's warm-start counters
+//! (`restored_entries` / `snapshot_age_s` / `restarts`) from `Stats`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,7 +48,7 @@ use mascot_bench::json::{scan_f64_field, JsonObject};
 use mascot_predictors::PredictorKind;
 use mascot_serve::metrics::{Histogram, HistogramSnapshot};
 use mascot_serve::shard::ShardPoolConfig;
-use mascot_serve::wire::{PredictItem, StatsReport, TrainItem, MAX_BATCH};
+use mascot_serve::wire::{PredictItem, PredictReply, StatsReport, TrainItem, MAX_BATCH};
 use mascot_serve::{Client, ServeConfig, Served, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +67,12 @@ const REGRESSION_TOLERANCE: f64 = 0.5;
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
 
+/// PCs probed by `--fingerprint-file` (first PCs of the load range).
+const FINGERPRINT_PCS: u64 = 512;
+/// Fixed store sequence for fingerprint probes, far past anything a warmup
+/// dispatched: the prediction then depends only on predictor table state.
+const FINGERPRINT_STORE_SEQ: u64 = 1 << 40;
+
 #[derive(Clone)]
 struct Args {
     addr: Option<String>,
@@ -69,6 +85,8 @@ struct Args {
     open_loop_qps: Option<u64>,
     smoke: bool,
     check: bool,
+    fingerprint_file: Option<String>,
+    shutdown: bool,
 }
 
 impl Default for Args {
@@ -84,6 +102,8 @@ impl Default for Args {
             open_loop_qps: None,
             smoke: false,
             check: false,
+            fingerprint_file: None,
+            shutdown: false,
         }
     }
 }
@@ -93,9 +113,14 @@ fn usage() -> &'static str {
     \x20                     [--shards N] [--threads N] [--batch N]\n\
     \x20                     [--duration-ms N] [--train-every N] [--open-loop QPS]\n\
     \x20                     [--smoke] [--check]\n\
+    \x20                     [--fingerprint-file PATH] [--shutdown]\n\
     Without --addr an in-process server is spawned (--predictor/--shards\n\
     size it). --smoke runs short and asserts correctness; --check compares\n\
-    throughput against the committed BENCH_serve.json."
+    throughput against the committed BENCH_serve.json.\n\
+    --fingerprint-file probes a fixed PC set (predict-only) and writes one\n\
+    line per PC; --shutdown stops the server gracefully. Both are control\n\
+    modes: they require --addr, skip the load run, and print the server's\n\
+    warm-start counters."
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -140,12 +165,19 @@ fn parse_args() -> Result<Args, String> {
                 args.duration = Duration::from_millis(400);
             }
             "--check" => args.check = true,
+            "--fingerprint-file" => {
+                args.fingerprint_file = Some(value("--fingerprint-file")?);
+            }
+            "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if (args.fingerprint_file.is_some() || args.shutdown) && args.addr.is_none() {
+        return Err("--fingerprint-file and --shutdown require --addr".to_string());
     }
     Ok(args)
 }
@@ -297,6 +329,76 @@ fn client_thread(
     totals
 }
 
+/// `--fingerprint-file` / `--shutdown`: a short control session against a
+/// remote server instead of a load run. Prints the warm-start counters,
+/// optionally writes the prediction fingerprint, optionally shuts the
+/// server down (in that order, so a combined invocation fingerprints the
+/// state that is about to be checkpointed).
+fn control_session(args: &Args) -> Result<(), String> {
+    let addr = args.addr.as_deref().expect("checked in parse_args");
+    let mut client = Client::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    // All shards are stamped identically at warm start; take the max so a
+    // half-stamped report (which would be a bug) still surfaces a value.
+    let restarts = stats.shards.iter().map(|s| s.restarts).max().unwrap_or(0);
+    let age = stats.shards.iter().map(|s| s.snapshot_age_s).max().unwrap_or(0);
+    println!(
+        "warm: restored_entries={} snapshot_age_s={} restarts={}",
+        stats.total_restored(),
+        age,
+        restarts
+    );
+
+    if let Some(path) = &args.fingerprint_file {
+        let mut out = String::new();
+        let pcs: Vec<u64> = (0..FINGERPRINT_PCS).map(|i| PC_BASE + i * 4).collect();
+        for chunk in pcs.chunks(args.batch.min(MAX_BATCH)) {
+            let items: Vec<PredictItem> = chunk
+                .iter()
+                .map(|&pc| PredictItem {
+                    pc,
+                    store_seq: FINGERPRINT_STORE_SEQ,
+                })
+                .collect();
+            let replies = predict_retrying(&mut client, items)?;
+            for (&pc, reply) in chunk.iter().zip(&replies) {
+                out.push_str(&format!("{pc:#x} {:?}\n", reply.prediction));
+            }
+        }
+        std::fs::write(path, out).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("fingerprint: {FINGERPRINT_PCS} pcs -> {path}");
+    }
+
+    if args.shutdown {
+        let served = client
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("shutdown: served={served}");
+    }
+    Ok(())
+}
+
+/// Predicts with a bounded busy-retry loop: a fingerprint probe must not
+/// silently drop PCs just because the server was momentarily loaded.
+fn predict_retrying(
+    client: &mut Client,
+    items: Vec<PredictItem>,
+) -> Result<Vec<PredictReply>, String> {
+    for attempt in 0u32..50 {
+        match client
+            .predict(items.clone())
+            .map_err(|e| format!("predict failed: {e}"))?
+        {
+            Served::Ok(replies) => return Ok(replies),
+            Served::Busy => {
+                std::thread::sleep(Duration::from_micros(100 << attempt.min(8)));
+            }
+        }
+    }
+    Err("server stayed busy across 50 fingerprint attempts".to_string())
+}
+
 struct RunOutcome {
     totals: ThreadTotals,
     elapsed: Duration,
@@ -427,6 +529,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.fingerprint_file.is_some() || args.shutdown {
+        return match control_session(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("mascot-loadgen: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let out = match run(&args) {
         Ok(out) => out,
         Err(e) => {

@@ -4,6 +4,7 @@
 //! mascotd [--addr HOST:PORT] [--predictor KIND] [--shards N]
 //!         [--queue-depth N] [--max-batch N]
 //!         [--replay TRACE] [--audit] [--port-file PATH]
+//!         [--snapshot-dir DIR]
 //! ```
 //!
 //! `--replay` warms every shard by replaying a trace as training traffic
@@ -20,12 +21,27 @@
 //!
 //! `--port-file` writes the bound address (one line) once the listener is
 //! up — scripts bind port 0 and discover the real port from the file.
+//!
+//! `--snapshot-dir DIR` makes the predictor state durable across restarts:
+//! on boot, `DIR/mascot.snap` (when present) is decoded fail-closed and
+//! every shard warm-starts from it — resharding through a union merge when
+//! the saved shard count differs from `--shards` (DESIGN.md §10) — and on
+//! graceful shutdown the final state of every shard is checkpointed back
+//! atomically (write to a temp file, fsync, rename, fsync the directory),
+//! so a crash mid-checkpoint leaves the previous snapshot intact.
 
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 
-use mascot_predictors::PredictorKind;
-use mascot_serve::{replay_trace, ServeConfig, Server};
+use mascot_predictors::{AnyPredictor, PredictorKind};
+use mascot_serve::{predictors_from_snapshot, replay_trace, unix_now_s, ServeConfig, Server};
 use mascot_sim::uop::Trace;
+use mascot_snapshot::SnapshotFile;
+
+/// Snapshot file name inside `--snapshot-dir`.
+const SNAP_FILE: &str = "mascot.snap";
 
 /// Uops generated when `--replay` names a workload profile.
 const REPLAY_GEN_UOPS: usize = 150_000;
@@ -37,14 +53,18 @@ struct Args {
     replay: Option<String>,
     audit: bool,
     port_file: Option<String>,
+    snapshot_dir: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: mascotd [--addr HOST:PORT] [--predictor KIND] [--shards N]\n\
     \x20              [--queue-depth N] [--max-batch N]\n\
     \x20              [--replay TRACE.mtrc|WORKLOAD] [--audit] [--port-file PATH]\n\
+    \x20              [--snapshot-dir DIR]\n\
     KIND is a predictor label (default: mascot); see `mascot-loadgen --help`.\n\
-    --audit validates the replay trace and its accounting (requires --replay)."
+    --audit validates the replay trace and its accounting (requires --replay).\n\
+    --snapshot-dir restores DIR/mascot.snap on boot (when present) and\n\
+    checkpoints the final predictor state there on graceful shutdown."
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         audit: false,
         port_file: None,
+        snapshot_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value("--replay")?),
             "--audit" => args.audit = true,
             "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--snapshot-dir" => args.snapshot_dir = Some(PathBuf::from(value("--snapshot-dir")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -120,6 +142,68 @@ fn load_replay_trace(spec_str: &str) -> Result<Trace, String> {
     }
 }
 
+/// The boot-time warm start, when `--snapshot-dir` holds a snapshot:
+/// decoded fail-closed, kind-checked, and resharded onto the configured
+/// shard count. Returns the per-shard predictors plus the observability
+/// numbers (per-shard restored entries, snapshot age, restart generation).
+struct WarmStart {
+    predictors: Vec<AnyPredictor>,
+    restored_per_shard: Vec<u64>,
+    snapshot_age_s: u64,
+    restarts: u64,
+}
+
+/// Loads and validates `DIR/mascot.snap`. `Ok(None)` when the file does not
+/// exist (cold start); `Err` when it exists but is unusable — a corrupt or
+/// mismatched snapshot must abort the boot, never silently start cold.
+fn load_warm_start(dir: &Path, cfg: &ServeConfig) -> Result<Option<WarmStart>, String> {
+    let path = dir.join(SNAP_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let file = SnapshotFile::decode(&bytes)
+        .map_err(|e| format!("{} is corrupt: {e}", path.display()))?;
+    let expected = cfg.kind.label();
+    if file.kind_label != expected {
+        return Err(format!(
+            "{} holds {:?} state but this server runs {:?}",
+            path.display(),
+            file.kind_label,
+            expected
+        ));
+    }
+    let predictors = predictors_from_snapshot(&file.shards, cfg.pool.shards)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let restored_per_shard = predictors.iter().map(AnyPredictor::entry_count).collect();
+    Ok(Some(WarmStart {
+        predictors,
+        restored_per_shard,
+        snapshot_age_s: unix_now_s().saturating_sub(file.created_unix_s),
+        restarts: file.restarts + 1,
+    }))
+}
+
+/// Writes the snapshot durably: temp file in the same directory, fsync,
+/// rename over the final name, fsync the directory. A crash at any point
+/// leaves either the old snapshot or the new one, never a torn file.
+fn write_snapshot_atomic(dir: &Path, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{SNAP_FILE}.tmp"));
+    let path = dir.join(SNAP_FILE);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -129,7 +213,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let server = match Server::bind(&args.cfg) {
+    let warm = match args.snapshot_dir.as_deref() {
+        Some(dir) => match load_warm_start(dir, &args.cfg) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("mascotd: snapshot restore failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let server = match Server::bind_with(
+        &args.cfg,
+        warm.as_ref().map(|w| w.predictors.clone()),
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("mascotd: failed to bind {}: {e}", args.cfg.addr);
@@ -142,6 +240,22 @@ fn main() -> ExitCode {
         args.cfg.kind.label(),
         args.cfg.pool.shards
     );
+
+    // The restart generation survives the run (and any wire-level Restore
+    // overwrites it); capture one metrics handle for the final checkpoint.
+    let restarts_metric = std::sync::Arc::clone(&server.pool().metrics()[0]);
+    if let Some(w) = &warm {
+        for (m, &restored) in server.pool().metrics().iter().zip(&w.restored_per_shard) {
+            m.restored_entries.store(restored, Ordering::Relaxed);
+        }
+        server.pool().set_warm_start(w.snapshot_age_s, w.restarts);
+        eprintln!(
+            "mascotd: warm start: restored_entries={} snapshot_age_s={} restarts={}",
+            w.restored_per_shard.iter().sum::<u64>(),
+            w.snapshot_age_s,
+            w.restarts
+        );
+    }
 
     if let Some(spec_str) = &args.replay {
         let trace = match load_replay_trace(spec_str) {
@@ -190,7 +304,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let stats = server.run();
+    let (stats, payloads) = server.run_collecting(args.snapshot_dir.is_some());
     eprintln!(
         "mascotd: drained; {} requests ({} predicts, {} trains, {} stale, {} rejected)",
         stats.total_requests(),
@@ -199,5 +313,25 @@ fn main() -> ExitCode {
         stats.shards.iter().map(|s| s.stale_trains).sum::<u64>(),
         stats.total_rejected(),
     );
+
+    if let Some(dir) = &args.snapshot_dir {
+        let file = SnapshotFile {
+            kind_label: args.cfg.kind.label().into_owned(),
+            created_unix_s: unix_now_s(),
+            restarts: restarts_metric.restarts.load(Ordering::Relaxed),
+            shards: payloads,
+        };
+        match write_snapshot_atomic(dir, &file.encode()) {
+            Ok(path) => eprintln!(
+                "mascotd: checkpointed {} shards to {}",
+                file.shards.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("mascotd: checkpoint failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

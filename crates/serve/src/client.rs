@@ -108,4 +108,36 @@ impl Client {
             _ => Err(WireError::Corrupt("mismatched response")),
         }
     }
+
+    /// Serializes the server's full predictor state into a snapshot
+    /// container.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors as in [`Client::request`]; a server-side `Error`
+    /// response (e.g. oversized state) is mapped to [`WireError::Corrupt`].
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, WireError> {
+        match self.request(&Request::Snapshot)? {
+            Response::Snapshot(bytes) => Ok(bytes),
+            Response::Error(_) => Err(WireError::Corrupt("server rejected snapshot")),
+            _ => Err(WireError::Corrupt("mismatched response")),
+        }
+    }
+
+    /// Replaces the server's predictor state from a snapshot container;
+    /// returns the entries restored across shards. The server validates the
+    /// container fail-closed and reshards when its shard count differs from
+    /// the snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors as in [`Client::request`]; a rejected snapshot surfaces
+    /// as the server's `Error` message via [`WireError::Corrupt`].
+    pub fn restore(&mut self, snapshot: Vec<u8>) -> Result<u64, WireError> {
+        match self.request(&Request::Restore(snapshot))? {
+            Response::Restore { restored_entries } => Ok(restored_entries),
+            Response::Error(_) => Err(WireError::Corrupt("server rejected restore")),
+            _ => Err(WireError::Corrupt("mismatched response")),
+        }
+    }
 }

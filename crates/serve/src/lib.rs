@@ -21,8 +21,15 @@
 //! * [`metrics`] — lock-free per-shard counters and a fixed-bucket
 //!   service-time histogram behind the `Stats` opcode.
 //!
-//! Binaries: `mascotd` (the server) and `mascot-loadgen` (closed- and
-//! open-loop benchmark client; maintains `BENCH_serve.json`).
+//! Binaries: `mascotd` (the server), `mascot-loadgen` (closed- and
+//! open-loop benchmark client; maintains `BENCH_serve.json`), and
+//! `mascot-router` (consistent-hash front for a multi-node cluster with
+//! health checks and replica failover).
+//!
+//! Version 2 of the wire protocol adds `Snapshot`/`Restore`: the full
+//! predictor state of every shard round-trips through the
+//! `mascot_snapshot` container format, enabling warm restarts
+//! (`mascotd --snapshot-dir`) and N→M resharding (DESIGN.md §10).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -36,5 +43,5 @@ pub mod wire;
 
 pub use client::{Client, Served};
 pub use replay::{replay_trace, ReplayReport};
-pub use server::{ServeConfig, Server};
+pub use server::{predictors_from_snapshot, unix_now_s, ServeConfig, Server};
 pub use shard::{ShardPool, ShardPoolConfig};

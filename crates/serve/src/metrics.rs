@@ -122,6 +122,13 @@ pub struct ShardMetrics {
     pub batches: AtomicU64,
     /// Items rejected with `Busy` because this shard's queue was full.
     pub rejected_full: AtomicU64,
+    /// Entries restored into this shard's predictor at the last warm start
+    /// or `Restore` (0 when the shard started cold).
+    pub restored_entries: AtomicU64,
+    /// Age of the restored snapshot at restore time, seconds.
+    pub snapshot_age_s: AtomicU64,
+    /// Checkpoint/restore cycles this predictor state has been through.
+    pub restarts: AtomicU64,
     /// Per-job service time.
     pub service: Histogram,
 }
@@ -145,6 +152,9 @@ impl ShardMetrics {
             service_samples: service.total(),
             service_p50_ns: service.quantile_ns(0.50),
             service_p99_ns: service.quantile_ns(0.99),
+            restored_entries: self.restored_entries.load(Ordering::Relaxed),
+            snapshot_age_s: self.snapshot_age_s.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
         }
     }
 }

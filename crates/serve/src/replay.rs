@@ -174,6 +174,8 @@ fn flush_segment(
                 train_outstanding -= 1;
                 continue;
             }
+            // Replay never issues snapshot/restore jobs on this channel.
+            ShardReply::Snapshot(_) | ShardReply::Restore(_) => continue,
         };
         let start = next_chunk_start[shard];
         let idxs = &by_shard[shard][start..start + replies.len()];

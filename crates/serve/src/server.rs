@@ -20,14 +20,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use mascot_predictors::PredictorKind;
+use mascot_predictors::{AnyPredictor, PredictorKind};
+use mascot_snapshot::SnapshotFile;
 
 use crate::metrics::ShardMetrics;
 use crate::shard::{shard_of, ShardJob, ShardPool, ShardPoolConfig, ShardReply};
 use crate::wire::{
     self, PredictItem, PredictReply, Request, Response, StatsReport, TrainItem, MAX_BATCH,
+    MAX_SNAPSHOT_FRAME_PAYLOAD,
 };
 
 /// How often an idle connection handler wakes to check for shutdown.
@@ -58,6 +60,7 @@ impl Default for ServeConfig {
 struct Shared {
     senders: Vec<SyncSender<ShardJob>>,
     metrics: Vec<Arc<ShardMetrics>>,
+    kind: PredictorKind,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -95,12 +98,31 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        Self::bind_with(cfg, None)
+    }
+
+    /// Binds the listener and spawns the shard pool, seeding each shard
+    /// with a pre-built predictor (snapshot warm start) when `predictors`
+    /// is given. The pool's shard count follows `predictors.len()` in that
+    /// case, overriding `cfg.pool.shards`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        cfg: &ServeConfig,
+        predictors: Option<Vec<AnyPredictor>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let pool = ShardPool::new(cfg.kind, &cfg.pool);
+        let pool = match predictors {
+            Some(p) => ShardPool::with_predictors(p, &cfg.pool),
+            None => ShardPool::new(cfg.kind, &cfg.pool),
+        };
         let shared = Arc::new(Shared {
             senders: pool.senders().to_vec(),
             metrics: pool.metrics().iter().map(Arc::clone).collect(),
+            kind: cfg.kind,
             shutdown: AtomicBool::new(false),
             addr,
         });
@@ -124,6 +146,14 @@ impl Server {
     /// Serves until a `Shutdown` request, then drains every shard and
     /// returns the final statistics.
     pub fn run(self) -> StatsReport {
+        self.run_collecting(false).0
+    }
+
+    /// Like [`Server::run`], but when `collect_snapshot` is set it also
+    /// serializes every shard's final predictor state after the last
+    /// connection drains and before the workers exit — the shutdown-path
+    /// checkpoint `mascotd --snapshot-dir` persists.
+    pub fn run_collecting(self, collect_snapshot: bool) -> (StatsReport, Vec<Vec<u8>>) {
         let Server {
             listener,
             pool,
@@ -147,13 +177,21 @@ impl Server {
         for conn in conns {
             let _ = conn.join();
         }
-        // All connection handlers are gone. `shared` holds the last sender
-        // clones outside the pool — it must go first, or the workers never
-        // observe disconnect and `shutdown` joins forever.
+        // All connection handlers are gone, so no new work can arrive; a
+        // snapshot taken now is the final state. The pool's own senders are
+        // still alive, so the workers are still draining and reachable.
+        let payloads = if collect_snapshot {
+            pool.snapshot_shards()
+        } else {
+            Vec::new()
+        };
+        // `shared` holds the last sender clones outside the pool — it must
+        // go first, or the workers never observe disconnect and `shutdown`
+        // joins forever.
         drop(shared);
         // Dropping the pool's own senders lets each worker drain its
         // remaining queue and exit.
-        pool.shutdown()
+        (pool.shutdown(), payloads)
     }
 
     /// Runs the server on a background thread; returns the bound address
@@ -230,7 +268,163 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
             shared.shutdown.store(true, Ordering::Release);
             Response::Shutdown { served }
         }
+        Request::Snapshot => dispatch_snapshot(shared),
+        Request::Restore(bytes) => dispatch_restore(&bytes, shared),
     }
+}
+
+/// Seconds since the Unix epoch, 0 when the clock is unavailable.
+pub fn unix_now_s() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Decodes a snapshot's per-shard payloads into one predictor per *target*
+/// shard, fail-closed: every payload must decode before any state is used.
+/// With matching counts each shard's state transfers bit-exactly; otherwise
+/// all shards are union-merged and the merged predictor is cloned onto
+/// every target shard. Entries live under folded-history hashes, not raw
+/// PCs, so a literal re-split is impossible — but queries route by PC, so
+/// each target shard only ever *sees* the slice of the union it owns, and
+/// the cluster answers exactly like the merged predictor would.
+///
+/// # Errors
+///
+/// A human-readable message naming the payload or merge that failed.
+pub fn predictors_from_snapshot(
+    shards: &[Vec<u8>],
+    target: usize,
+) -> Result<Vec<AnyPredictor>, String> {
+    if shards.is_empty() || target == 0 {
+        return Err("snapshot has no shard payloads".to_string());
+    }
+    let mut decoded = Vec::with_capacity(shards.len());
+    for (i, payload) in shards.iter().enumerate() {
+        decoded.push(
+            AnyPredictor::from_snapshot_bytes(payload)
+                .map_err(|e| format!("shard {i} payload: {e}"))?,
+        );
+    }
+    // The container's kind label covers the file as a whole; each payload
+    // also self-describes its variant, and a hand-assembled container could
+    // disagree with itself. A heterogeneous pool must never be built — even
+    // when the counts match and no merge would force the issue.
+    if let Some(mixed) = decoded
+        .iter()
+        .position(|p| std::mem::discriminant(p) != std::mem::discriminant(&decoded[0]))
+    {
+        return Err(format!(
+            "shard {mixed} payload holds a different predictor kind than shard 0"
+        ));
+    }
+    if decoded.len() == target {
+        return Ok(decoded);
+    }
+    // Merge in shard order: conflict resolution keeps the incumbent on
+    // ties, so the order is observable and must be deterministic.
+    let mut rest = decoded.into_iter();
+    let mut union = rest.next().expect("non-empty checked above");
+    for (i, other) in rest.enumerate() {
+        union
+            .merge_from(&other)
+            .map_err(|e| format!("merging shard {}: {e}", i + 1))?;
+    }
+    Ok(vec![union; target])
+}
+
+fn dispatch_snapshot(shared: &Shared) -> Response {
+    let (tx, rx) = channel();
+    for (shard, sender) in shared.senders.iter().enumerate() {
+        let job = ShardJob::Snapshot {
+            tag: shard as u32,
+            reply: tx.clone(),
+        };
+        if sender.send(job).is_err() {
+            return Response::Error("shard worker exited".to_string());
+        }
+    }
+    drop(tx);
+    let mut payloads = vec![Vec::new(); shared.senders.len()];
+    let mut received = 0usize;
+    for (tag, reply) in rx.iter() {
+        let ShardReply::Snapshot(bytes) = reply else {
+            return Response::Error("mismatched shard reply".to_string());
+        };
+        payloads[tag as usize] = bytes;
+        received += 1;
+    }
+    if received != shared.senders.len() {
+        return Response::Error("incomplete snapshot gather".to_string());
+    }
+    let file = SnapshotFile {
+        kind_label: shared.kind.label().into_owned(),
+        created_unix_s: unix_now_s(),
+        restarts: shared.metrics[0].restarts.load(Ordering::Relaxed),
+        shards: payloads,
+    };
+    let bytes = file.encode();
+    if bytes.len() > MAX_SNAPSHOT_FRAME_PAYLOAD {
+        return Response::Error("snapshot exceeds the wire payload limit".to_string());
+    }
+    Response::Snapshot(bytes)
+}
+
+fn dispatch_restore(bytes: &[u8], shared: &Shared) -> Response {
+    let file = match SnapshotFile::decode(bytes) {
+        Ok(f) => f,
+        Err(e) => return Response::Error(format!("snapshot rejected: {e}")),
+    };
+    let expected = shared.kind.label();
+    if file.kind_label != expected {
+        return Response::Error(format!(
+            "snapshot rejected: holds {:?} state, this server runs {:?}",
+            file.kind_label, expected
+        ));
+    }
+    let predictors = match predictors_from_snapshot(&file.shards, shared.senders.len()) {
+        Ok(p) => p,
+        Err(e) => return Response::Error(format!("snapshot rejected: {e}")),
+    };
+    let (tx, rx) = channel();
+    for (shard, (sender, predictor)) in shared
+        .senders
+        .iter()
+        .zip(predictors.into_iter())
+        .enumerate()
+    {
+        let job = ShardJob::Restore {
+            predictor: Box::new(predictor),
+            tag: shard as u32,
+            reply: tx.clone(),
+        };
+        if sender.send(job).is_err() {
+            return Response::Error("shard worker exited".to_string());
+        }
+    }
+    drop(tx);
+    let mut restored_entries = 0u64;
+    let mut received = 0usize;
+    for (tag, reply) in rx.iter() {
+        let ShardReply::Restore(entries) = reply else {
+            return Response::Error("mismatched shard reply".to_string());
+        };
+        shared.metrics[tag as usize]
+            .restored_entries
+            .store(entries, Ordering::Relaxed);
+        restored_entries += entries;
+        received += 1;
+    }
+    if received != shared.senders.len() {
+        return Response::Error("incomplete restore scatter".to_string());
+    }
+    let age = unix_now_s().saturating_sub(file.created_unix_s);
+    for m in &shared.metrics {
+        m.snapshot_age_s.store(age, Ordering::Relaxed);
+        m.restarts.store(file.restarts, Ordering::Relaxed);
+    }
+    Response::Restore { restored_entries }
 }
 
 /// Splits a batch's indices by owning shard.

@@ -99,6 +99,24 @@ pub enum ShardJob {
     },
     /// Apply predictor-state events (no reply).
     Sync(Vec<SyncEvent>),
+    /// Serialize this shard's predictor state.
+    Snapshot {
+        /// Caller-chosen tag echoed in the reply.
+        tag: u32,
+        /// Where to deliver the reply.
+        reply: Sender<(u32, ShardReply)>,
+    },
+    /// Swap in a fully-built replacement predictor (decoded and validated by
+    /// the caller) and clear the pending table — parked tickets reference
+    /// metadata from the predictor being replaced.
+    Restore {
+        /// The replacement predictor.
+        predictor: Box<AnyPredictor>,
+        /// Caller-chosen tag echoed in the reply.
+        tag: u32,
+        /// Where to deliver the reply.
+        reply: Sender<(u32, ShardReply)>,
+    },
     /// Park the worker on a barrier (used by tests and by callers that need
     /// a completion fence: the worker has necessarily finished everything
     /// queued before this job when the barrier releases).
@@ -119,6 +137,10 @@ impl std::fmt::Debug for ShardJob {
                 .field("tag", tag)
                 .finish(),
             ShardJob::Sync(events) => f.debug_tuple("Sync").field(&events.len()).finish(),
+            ShardJob::Snapshot { tag, .. } => {
+                f.debug_struct("Snapshot").field("tag", tag).finish()
+            }
+            ShardJob::Restore { tag, .. } => f.debug_struct("Restore").field("tag", tag).finish(),
             ShardJob::Wait(_) => f.write_str("Wait"),
         }
     }
@@ -136,6 +158,10 @@ pub enum ShardReply {
         /// Items dropped on a stale ticket.
         stale: u32,
     },
+    /// The shard's serialized predictor state.
+    Snapshot(Vec<u8>),
+    /// Entries resident in the freshly swapped-in predictor.
+    Restore(u64),
 }
 
 /// Routes a PC to a shard: multiply-shift mixing (fibonacci hashing) so
@@ -215,14 +241,22 @@ impl ShardPool {
     /// predictor.
     pub fn new(kind: PredictorKind, cfg: &ShardPoolConfig) -> Self {
         assert!(cfg.shards > 0, "at least one shard");
+        Self::with_predictors((0..cfg.shards).map(|_| kind.build()).collect(), cfg)
+    }
+
+    /// Spawns one worker per element of `predictors`, each owning its
+    /// pre-built (e.g. snapshot-restored) predictor. `cfg.shards` is
+    /// ignored; the pool's shard count is `predictors.len()`.
+    pub fn with_predictors(predictors: Vec<AnyPredictor>, cfg: &ShardPoolConfig) -> Self {
+        assert!(!predictors.is_empty(), "at least one shard");
         assert!(cfg.queue_depth > 0, "queue depth must be positive");
-        let mut senders = Vec::with_capacity(cfg.shards);
-        let mut metrics = Vec::with_capacity(cfg.shards);
-        let mut handles = Vec::with_capacity(cfg.shards);
-        for shard in 0..cfg.shards {
+        let shards = predictors.len();
+        let mut senders = Vec::with_capacity(shards);
+        let mut metrics = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, predictor) in predictors.into_iter().enumerate() {
             let (tx, rx) = sync_channel(cfg.queue_depth);
             let m = Arc::new(ShardMetrics::new());
-            let predictor = kind.build();
             let worker_metrics = Arc::clone(&m);
             let max_batch = cfg.max_batch.max(1);
             let pending_capacity = cfg.pending_capacity;
@@ -294,6 +328,74 @@ impl ShardPool {
             let _ = tx.send(ShardJob::Wait(Arc::clone(&barrier)));
         }
         barrier.wait();
+    }
+
+    /// Serializes every shard's predictor state, in shard order (blocking:
+    /// each shard finishes the work queued ahead of its snapshot job first,
+    /// so the result is a consistent point-in-time cut per shard).
+    pub fn snapshot_shards(&self) -> Vec<Vec<u8>> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let _ = sender.send(ShardJob::Snapshot {
+                tag: shard as u32,
+                reply: tx.clone(),
+            });
+        }
+        drop(tx);
+        let mut payloads = vec![Vec::new(); self.senders.len()];
+        for (tag, reply) in rx.iter() {
+            if let ShardReply::Snapshot(bytes) = reply {
+                payloads[tag as usize] = bytes;
+            }
+        }
+        payloads
+    }
+
+    /// Swaps one pre-built predictor into each shard (in shard order),
+    /// clears the pending tables, and records each shard's restored entry
+    /// count in its metrics. Returns the total across shards.
+    ///
+    /// # Panics
+    ///
+    /// When `predictors.len()` differs from the pool's shard count — the
+    /// caller performs any resharding *before* handing the pool its new
+    /// per-shard states.
+    pub fn restore_shards(&self, predictors: Vec<AnyPredictor>) -> u64 {
+        assert_eq!(
+            predictors.len(),
+            self.senders.len(),
+            "one replacement predictor per shard"
+        );
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (shard, (sender, predictor)) in
+            self.senders.iter().zip(predictors.into_iter()).enumerate()
+        {
+            let _ = sender.send(ShardJob::Restore {
+                predictor: Box::new(predictor),
+                tag: shard as u32,
+                reply: tx.clone(),
+            });
+        }
+        drop(tx);
+        let mut total = 0u64;
+        for (tag, reply) in rx.iter() {
+            if let ShardReply::Restore(entries) = reply {
+                self.metrics[tag as usize]
+                    .restored_entries
+                    .store(entries, Ordering::Relaxed);
+                total += entries;
+            }
+        }
+        total
+    }
+
+    /// Stamps the warm-start observability counters (snapshot age at
+    /// restore, checkpoint/restore generation) on every shard's metrics.
+    pub fn set_warm_start(&self, snapshot_age_s: u64, restarts: u64) {
+        for m in &self.metrics {
+            m.snapshot_age_s.store(snapshot_age_s, Ordering::Relaxed);
+            m.restarts.store(restarts, Ordering::Relaxed);
+        }
     }
 
     /// Snapshots every shard's counters.
@@ -419,6 +521,20 @@ fn process(
                     }
                 }
             }
+        }
+        ShardJob::Snapshot { tag, reply } => {
+            let _ = reply.send((tag, ShardReply::Snapshot(predictor.snapshot_bytes())));
+        }
+        ShardJob::Restore {
+            predictor: replacement,
+            tag,
+            reply,
+        } => {
+            *predictor = *replacement;
+            // Parked tickets reference metadata minted by the predictor just
+            // replaced; training the restored one with it would be lying.
+            *pending = PendingTable::new(pending.slots.len());
+            let _ = reply.send((tag, ShardReply::Restore(predictor.entry_count())));
         }
         ShardJob::Wait(barrier) => {
             barrier.wait();
@@ -652,6 +768,85 @@ mod tests {
             assert!(table.take(ticket, pc).is_some());
             assert!(table.take(ticket, pc).is_none(), "tickets are single-use");
         }
+    }
+
+    /// Pool-level state transplant: snapshot a warmed pool shard-by-shard,
+    /// restore the payloads into a cold pool of the same width, and require
+    /// the cold pool's shards to answer predictions exactly like the warm
+    /// ones (and to report the restore in their metrics).
+    #[test]
+    fn snapshot_restore_transplants_pool_state() {
+        let cfg = ShardPoolConfig {
+            shards: 2,
+            ..Default::default()
+        };
+        let warm = ShardPool::new(PredictorKind::Mascot, &cfg);
+        let (tx, rx) = channel();
+        let pcs: Vec<u64> = (0..16u64).map(|i| 0x5000 + i * 4).collect();
+        for round in 0..20 {
+            for &pc in &pcs {
+                let shard = warm.shard_of(pc);
+                warm.send(shard, predict_job(&[pc], round, &tx));
+                let ticket = match rx.recv().unwrap().1 {
+                    ShardReply::Predict(r) => r[0].ticket,
+                    other => panic!("unexpected reply {other:?}"),
+                };
+                warm.send(
+                    shard,
+                    ShardJob::Train {
+                        items: vec![TrainItem {
+                            ticket,
+                            pc,
+                            outcome: mascot::prediction::LoadOutcome::dependent(
+                                mascot::prediction::ObservedDependence {
+                                    distance: mascot::prediction::StoreDistance::new(3).unwrap(),
+                                    class: mascot::prediction::BypassClass::DirectBypass,
+                                    store_pc: 0x9000,
+                                    branches_between: 0,
+                                },
+                            ),
+                        }],
+                        tag: round,
+                        reply: tx.clone(),
+                    },
+                );
+                rx.recv().unwrap();
+            }
+        }
+        warm.fence();
+        let payloads = warm.snapshot_shards();
+        assert_eq!(payloads.len(), 2);
+
+        let cold = ShardPool::new(PredictorKind::Mascot, &cfg);
+        let predictors: Vec<AnyPredictor> = payloads
+            .iter()
+            .map(|p| AnyPredictor::from_snapshot_bytes(p).expect("valid shard payload"))
+            .collect();
+        let restored = cold.restore_shards(predictors);
+        assert!(restored > 0, "warm shards must carry entries");
+        cold.set_warm_start(7, 2);
+        let report = cold.stats_report();
+        assert_eq!(report.total_restored(), restored);
+        assert!(report.shards.iter().all(|s| s.snapshot_age_s == 7));
+        assert!(report.shards.iter().all(|s| s.restarts == 2));
+
+        // Both pools must now answer every PC identically.
+        for &pc in &pcs {
+            let shard = warm.shard_of(pc);
+            warm.send(shard, predict_job(&[pc], 1, &tx));
+            let warm_reply = match rx.recv().unwrap().1 {
+                ShardReply::Predict(r) => r[0].prediction,
+                other => panic!("unexpected reply {other:?}"),
+            };
+            cold.send(shard, predict_job(&[pc], 2, &tx));
+            let cold_reply = match rx.recv().unwrap().1 {
+                ShardReply::Predict(r) => r[0].prediction,
+                other => panic!("unexpected reply {other:?}"),
+            };
+            assert_eq!(warm_reply, cold_reply, "pc {pc:#x}");
+        }
+        warm.shutdown();
+        cold.shutdown();
     }
 
     #[test]

@@ -28,12 +28,19 @@ use mascot::prediction::{
 
 /// Frame magic.
 pub const MAGIC: [u8; 4] = *b"MSRV";
-/// Protocol version.
-pub const VERSION: u8 = 1;
+/// Protocol version. Version 2 added the `Snapshot`/`Restore` opcodes and
+/// three warm-start counters per [`ShardStats`] entry; version-1 frames are
+/// rejected with [`WireError::BadVersion`] (the stats layout changed, so
+/// silent interop would mis-parse).
+pub const VERSION: u8 = 2;
 /// Bytes in a frame header (magic + version + code + payload length).
 pub const HEADER_LEN: usize = 10;
-/// Upper bound on a frame payload, enforced before allocation.
+/// Upper bound on a regular frame payload, enforced before allocation.
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+/// Upper bound on a frame payload that carries predictor-state snapshot
+/// bytes (`Restore` requests and `Ok` responses, which include `Snapshot`
+/// replies). Matches `mascot_snapshot`'s own per-shard payload cap.
+pub const MAX_SNAPSHOT_FRAME_PAYLOAD: usize = 1 << 26;
 /// Upper bound on items per micro-batch.
 pub const MAX_BATCH: usize = 4096;
 /// Upper bound on shards a `Stats` response may describe.
@@ -47,7 +54,18 @@ const TRAIN_ITEM_BYTES: usize = 4 + 8 + 1 + 1 + 1 + 8 + 4;
 /// Encoded size of one [`PredictReply`].
 const PREDICT_REPLY_BYTES: usize = 6;
 /// Encoded size of one [`ShardStats`].
-const SHARD_STATS_BYTES: usize = 9 * 8;
+const SHARD_STATS_BYTES: usize = 12 * 8;
+
+/// The payload cap for a frame with the given code byte. Snapshot bytes
+/// flow in `Restore` requests (code 6) and `Ok` responses (code 0, which is
+/// also every `Snapshot` reply); those get the larger cap, everything else
+/// keeps the tight one.
+pub fn max_payload(code: u8) -> usize {
+    match code {
+        0 | 6 => MAX_SNAPSHOT_FRAME_PAYLOAD,
+        _ => MAX_FRAME_PAYLOAD,
+    }
+}
 
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +79,10 @@ pub enum Opcode {
     Stats = 3,
     /// Graceful shutdown: drain in-flight batches, then exit.
     Shutdown = 4,
+    /// Serialize the full predictor state of every shard (v2).
+    Snapshot = 5,
+    /// Replace the predictor state of every shard from a snapshot (v2).
+    Restore = 6,
 }
 
 impl Opcode {
@@ -70,6 +92,8 @@ impl Opcode {
             2 => Opcode::Train,
             3 => Opcode::Stats,
             4 => Opcode::Shutdown,
+            5 => Opcode::Snapshot,
+            6 => Opcode::Restore,
             other => return Err(WireError::BadOpcode(other)),
         })
     }
@@ -199,6 +223,14 @@ pub struct ShardStats {
     pub service_p50_ns: u64,
     /// Approximate p99 service time per job, nanoseconds.
     pub service_p99_ns: u64,
+    /// Entries restored into this shard's predictor at the last warm start
+    /// or `Restore` (0 on a cold start).
+    pub restored_entries: u64,
+    /// Age of the restored snapshot at restore time, seconds (0 when cold).
+    pub snapshot_age_s: u64,
+    /// Times this predictor state has been through a checkpoint/restore
+    /// cycle (carried in the snapshot itself, so it survives restarts).
+    pub restarts: u64,
 }
 
 /// The full `Stats` response: one entry per shard.
@@ -228,6 +260,11 @@ impl StatsReport {
     pub fn total_rejected(&self) -> u64 {
         self.shards.iter().map(|s| s.rejected_full).sum()
     }
+
+    /// Total entries restored across shards at the last warm start.
+    pub fn total_restored(&self) -> u64 {
+        self.shards.iter().map(|s| s.restored_entries).sum()
+    }
 }
 
 /// A request frame body.
@@ -241,6 +278,11 @@ pub enum Request {
     Stats,
     /// Graceful shutdown.
     Shutdown,
+    /// Serialize the full predictor state of every shard.
+    Snapshot,
+    /// Replace every shard's predictor state from an encoded
+    /// `mascot_snapshot::SnapshotFile` container (opaque at this layer).
+    Restore(Vec<u8>),
 }
 
 /// A response frame body.
@@ -261,6 +303,14 @@ pub enum Response {
     Shutdown {
         /// Total items served over the server's lifetime.
         served: u64,
+    },
+    /// An encoded `mascot_snapshot::SnapshotFile` container holding every
+    /// shard's predictor state (opaque at this layer).
+    Snapshot(Vec<u8>),
+    /// Restore summary.
+    Restore {
+        /// Entries restored across all shards.
+        restored_entries: u64,
     },
     /// Backpressure: a shard queue was full, the batch was rejected.
     Busy,
@@ -428,7 +478,7 @@ fn get_outcome(r: &mut Reader<'_>) -> Result<LoadOutcome, WireError> {
 
 /// Assembles a complete frame (header + payload) for a single `write_all`.
 pub fn encode_frame(code: u8, payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() <= MAX_FRAME_PAYLOAD, "payload exceeds limit");
+    assert!(payload.len() <= max_payload(code), "payload exceeds limit");
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -494,7 +544,7 @@ pub fn read_frame_abortable<R: Read>(
     }
     let code = header[5];
     let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
-    if len as usize > MAX_FRAME_PAYLOAD {
+    if len as usize > max_payload(code) {
         return Err(WireError::TooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
@@ -529,6 +579,8 @@ impl Request {
             Request::Train(_) => Opcode::Train,
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
+            Request::Snapshot => Opcode::Snapshot,
+            Request::Restore(_) => Opcode::Restore,
         }
     }
 
@@ -562,7 +614,13 @@ impl Request {
                 }
                 out
             }
-            Request::Stats | Request::Shutdown => Vec::new(),
+            Request::Stats | Request::Shutdown | Request::Snapshot => Vec::new(),
+            Request::Restore(bytes) => {
+                if bytes.len() > MAX_SNAPSHOT_FRAME_PAYLOAD {
+                    return Err(WireError::TooLarge(u32::MAX));
+                }
+                bytes.clone()
+            }
         })
     }
 
@@ -617,6 +675,13 @@ impl Request {
                 r.finish()?;
                 Ok(Request::Shutdown)
             }
+            Opcode::Snapshot => {
+                r.finish()?;
+                Ok(Request::Snapshot)
+            }
+            // The snapshot container validates itself (magic, version,
+            // checksum) in `mascot_snapshot`; the wire layer only bounds it.
+            Opcode::Restore => Ok(Request::Restore(payload.to_vec())),
         }
     }
 }
@@ -676,6 +741,9 @@ impl Response {
                         s.service_samples,
                         s.service_p50_ns,
                         s.service_p99_ns,
+                        s.restored_entries,
+                        s.snapshot_age_s,
+                        s.restarts,
                     ] {
                         out.extend_from_slice(&field.to_le_bytes());
                     }
@@ -683,6 +751,13 @@ impl Response {
                 out
             }
             Response::Shutdown { served } => served.to_le_bytes().to_vec(),
+            Response::Snapshot(bytes) => {
+                if bytes.len() > MAX_SNAPSHOT_FRAME_PAYLOAD {
+                    return Err(WireError::TooLarge(u32::MAX));
+                }
+                bytes.clone()
+            }
+            Response::Restore { restored_entries } => restored_entries.to_le_bytes().to_vec(),
             Response::Busy => Vec::new(),
             Response::Error(msg) => msg.as_bytes().to_vec(),
         })
@@ -762,6 +837,9 @@ impl Response {
                             service_samples: r.u64()?,
                             service_p50_ns: r.u64()?,
                             service_p99_ns: r.u64()?,
+                            restored_entries: r.u64()?,
+                            snapshot_age_s: r.u64()?,
+                            restarts: r.u64()?,
                         });
                     }
                     r.finish()?;
@@ -771,6 +849,12 @@ impl Response {
                     let served = r.u64()?;
                     r.finish()?;
                     Ok(Response::Shutdown { served })
+                }
+                Opcode::Snapshot => Ok(Response::Snapshot(payload.to_vec())),
+                Opcode::Restore => {
+                    let restored_entries = r.u64()?;
+                    r.finish()?;
+                    Ok(Response::Restore { restored_entries })
                 }
             },
         }
@@ -848,6 +932,68 @@ mod tests {
         assert_eq!(report.total_predicts(), 8);
         let resp = roundtrip_response(Opcode::Shutdown, Response::Shutdown { served: 12345 });
         assert_eq!(resp, Response::Shutdown { served: 12345 });
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        assert_eq!(roundtrip_request(Request::Snapshot), Request::Snapshot);
+        let blob = vec![0xAB_u8; 4096];
+        assert_eq!(
+            roundtrip_request(Request::Restore(blob.clone())),
+            Request::Restore(blob.clone())
+        );
+        assert_eq!(
+            roundtrip_response(Opcode::Snapshot, Response::Snapshot(blob.clone())),
+            Response::Snapshot(blob)
+        );
+        assert_eq!(
+            roundtrip_response(
+                Opcode::Restore,
+                Response::Restore {
+                    restored_entries: 777
+                }
+            ),
+            Response::Restore {
+                restored_entries: 777
+            }
+        );
+        // Snapshot frames get the larger cap; a predict frame does not.
+        assert_eq!(max_payload(Opcode::Restore as u8), MAX_SNAPSHOT_FRAME_PAYLOAD);
+        assert_eq!(max_payload(Status::Ok as u8), MAX_SNAPSHOT_FRAME_PAYLOAD);
+        assert_eq!(max_payload(Opcode::Predict as u8), MAX_FRAME_PAYLOAD);
+        assert!(matches!(
+            Request::Restore(vec![0; MAX_SNAPSHOT_FRAME_PAYLOAD + 1]).encode_payload(),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn warm_start_counters_roundtrip() {
+        let report = StatsReport {
+            shards: vec![ShardStats {
+                requests: 5,
+                restored_entries: 1234,
+                snapshot_age_s: 60,
+                restarts: 3,
+                ..Default::default()
+            }],
+        };
+        let resp = roundtrip_response(Opcode::Stats, Response::Stats(report.clone()));
+        assert_eq!(resp, Response::Stats(report.clone()));
+        assert_eq!(report.total_restored(), 1234);
+    }
+
+    /// Version-1 peers must be rejected outright: v2 changed the
+    /// `ShardStats` layout, so parsing a v1 stats frame as v2 would read
+    /// garbage rather than fail.
+    #[test]
+    fn rejects_version_one_frames() {
+        let mut frame = Request::Stats.encode_frame().unwrap();
+        frame[4] = 1;
+        assert!(matches!(
+            read_frame(&mut frame.as_slice()),
+            Err(WireError::BadVersion(1))
+        ));
     }
 
     #[test]

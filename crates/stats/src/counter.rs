@@ -5,6 +5,7 @@
 //! 4-bit usefulness counter of PHAST, the 7-bit confidence counter of NoSQ
 //! and the direction counters of the TAGE branch predictor.
 
+use mascot_snapshot::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// An unsigned saturating counter with a compile-time-unknown bit width.
@@ -98,6 +99,33 @@ impl SaturatingCounter {
     pub fn set(&mut self, value: u8) {
         self.value = value.min(self.max);
     }
+
+    /// Appends the counter to a snapshot payload (value, then max).
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u8(self.value);
+        w.u8(self.max);
+    }
+
+    /// Decodes a counter from a snapshot payload, fail-closed: the stored
+    /// maximum must be of the `2^bits - 1` form for a supported width and
+    /// the value must not exceed it, so a corrupt byte can never produce a
+    /// counter the constructor would have rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] or [`SnapError::Corrupt`].
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let value = r.u8("counter value")?;
+        let max = r.u8("counter max")?;
+        let bits = max.count_ones() as u8;
+        if bits == 0 || bits > 7 || max != (1u8 << bits) - 1 {
+            return Err(SnapError::Corrupt("counter max is not 2^bits - 1"));
+        }
+        if value > max {
+            return Err(SnapError::Corrupt("counter value exceeds max"));
+        }
+        Ok(Self { value, max })
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +181,29 @@ mod tests {
     #[should_panic(expected = "exceeds max")]
     fn oversized_initial_rejected() {
         let _ = SaturatingCounter::new(2, 4);
+    }
+
+    #[test]
+    fn snap_roundtrip_and_fail_closed() {
+        let c = SaturatingCounter::new(3, 6);
+        let mut w = SnapWriter::new();
+        c.snap_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(SaturatingCounter::snap_decode(&mut r).unwrap(), c);
+        r.finish().unwrap();
+        // value > max
+        let mut r = SnapReader::new(&[5, 3]);
+        assert!(SaturatingCounter::snap_decode(&mut r).is_err());
+        // max not of 2^bits - 1 form
+        let mut r = SnapReader::new(&[1, 5]);
+        assert!(SaturatingCounter::snap_decode(&mut r).is_err());
+        // max = 0 (zero-width counter)
+        let mut r = SnapReader::new(&[0, 0]);
+        assert!(SaturatingCounter::snap_decode(&mut r).is_err());
+        // truncated
+        let mut r = SnapReader::new(&[1]);
+        assert!(SaturatingCounter::snap_decode(&mut r).is_err());
     }
 
     #[test]

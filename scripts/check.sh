@@ -65,3 +65,81 @@ wait "${MASCOTD_PID}"
 trap - EXIT
 rm -f "${PORT_FILE}"
 echo "serve smoke ok (server drained and exited)"
+
+# Waits for a port file to appear (a daemon writes it once ready).
+wait_ready() {
+    for _ in $(seq 1 200); do
+        [ -s "$1" ] && return 0
+        sleep 0.05
+    done
+    echo "daemon behind $1 never became ready"
+    return 1
+}
+
+echo "== snapshot smoke (checkpoint, warm restart, identical fingerprints) =="
+SNAP_DIR=$(mktemp -d)
+PORT_FILE="${SNAP_DIR}/port"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "${SNAP_DIR}"' EXIT
+# Generation 0: warm via replay, fingerprint, checkpoint on shutdown.
+./target/release/mascotd --addr 127.0.0.1:0 --shards 4 --replay mcf \
+    --snapshot-dir "${SNAP_DIR}" --port-file "${PORT_FILE}" &
+MASCOTD_PID=$!
+wait_ready "${PORT_FILE}"
+./target/release/mascot-loadgen --addr "$(cat "${PORT_FILE}")" \
+    --fingerprint-file "${SNAP_DIR}/fp.before" --shutdown
+wait "${MASCOTD_PID}"
+[ -s "${SNAP_DIR}/mascot.snap" ] || { echo "no snapshot checkpointed"; exit 1; }
+# Generation 1: no replay — the state must come back from the snapshot.
+rm -f "${PORT_FILE}"
+./target/release/mascotd --addr 127.0.0.1:0 --shards 4 \
+    --snapshot-dir "${SNAP_DIR}" --port-file "${PORT_FILE}" &
+MASCOTD_PID=$!
+wait_ready "${PORT_FILE}"
+WARM_OUT=$(./target/release/mascot-loadgen --addr "$(cat "${PORT_FILE}")" \
+    --fingerprint-file "${SNAP_DIR}/fp.after")
+echo "${WARM_OUT}"
+echo "${WARM_OUT}" | grep -q "restarts=1" \
+    || { echo "warm restart not visible in Stats"; exit 1; }
+if echo "${WARM_OUT}" | grep -q "restored_entries=0 "; then
+    echo "warm restart restored nothing"; exit 1
+fi
+cmp "${SNAP_DIR}/fp.before" "${SNAP_DIR}/fp.after" \
+    || { echo "predictions diverged across the restart"; exit 1; }
+# The restored server must still serve real traffic losslessly.
+./target/release/mascot-loadgen --addr "$(cat "${PORT_FILE}")" --smoke
+wait "${MASCOTD_PID}"
+trap - EXIT
+rm -rf "${SNAP_DIR}"
+echo "snapshot smoke ok (identical fingerprints across a warm restart)"
+
+echo "== router smoke (3 nodes + replica, one node killed mid-run) =="
+RUN_DIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "${RUN_DIR}"' EXIT
+NODE_PIDS=()
+for i in 1 2 3 4; do
+    ./target/release/mascotd --addr 127.0.0.1:0 --shards 2 \
+        --port-file "${RUN_DIR}/node${i}.port" &
+    NODE_PIDS+=($!)
+done
+for i in 1 2 3 4; do wait_ready "${RUN_DIR}/node${i}.port"; done
+./target/release/mascot-router --addr 127.0.0.1:0 \
+    --node "$(cat "${RUN_DIR}/node1.port")" \
+    --node "$(cat "${RUN_DIR}/node2.port")" \
+    --node "$(cat "${RUN_DIR}/node3.port")" \
+    --replica "$(cat "${RUN_DIR}/node4.port")" \
+    --health-interval-ms 100 --port-file "${RUN_DIR}/router.port" &
+ROUTER_PID=$!
+wait_ready "${RUN_DIR}/router.port"
+# The smoke asserts zero lost requests even though a primary dies mid-run.
+./target/release/mascot-loadgen --addr "$(cat "${RUN_DIR}/router.port")" \
+    --smoke --duration-ms 2500 &
+LOADGEN_PID=$!
+sleep 0.8
+kill -9 "${NODE_PIDS[1]}" 2>/dev/null || true
+wait "${LOADGEN_PID}"
+# The loadgen's Shutdown broadcast must stop the router and the survivors.
+wait "${ROUTER_PID}"
+for i in 0 2 3; do wait "${NODE_PIDS[$i]}" || true; done
+trap - EXIT
+rm -rf "${RUN_DIR}"
+echo "router smoke ok (node killed mid-run, zero lost requests)"

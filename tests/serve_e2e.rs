@@ -7,11 +7,14 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mascot_predictors::PredictorKind;
+use mascot_predictors::{AnyPredictor, PredictorKind};
 use mascot_serve::shard::ShardPoolConfig;
 use mascot_serve::wire::{self, Opcode, PredictItem, Response, TrainItem, HEADER_LEN, MAGIC};
 use mascot_serve::{Client, ServeConfig, Served, Server};
-use mascot::prediction::LoadOutcome;
+use mascot_snapshot::SnapshotFile;
+use mascot::prediction::{
+    BypassClass, LoadOutcome, MemDepPrediction, ObservedDependence, StoreDistance,
+};
 
 fn spawn_server(shards: usize) -> (String, std::thread::JoinHandle<wire::StatsReport>) {
     let cfg = ServeConfig {
@@ -115,6 +118,120 @@ fn loopback_mixed_traffic_accounts_for_every_item() {
     assert_eq!(drained.total_requests(), stats.total_requests());
     assert_eq!(drained.total_predicts(), stats.total_predicts());
     assert_eq!(drained.total_trains(), stats.total_trains());
+}
+
+/// PCs warmed and fingerprinted by the snapshot e2e test.
+const SNAP_PCS: u64 = 64;
+const SNAP_PC_BASE: u64 = 0x2000;
+
+/// Warms the server with deterministic predict/train traffic.
+fn warm_over_wire(client: &mut Client, rounds: usize) {
+    for round in 0..rounds {
+        let items: Vec<PredictItem> = (0..SNAP_PCS)
+            .map(|i| PredictItem {
+                pc: SNAP_PC_BASE + i * 4,
+                store_seq: (round as u64) * SNAP_PCS + i + 8,
+            })
+            .collect();
+        let replies = match client.predict(items.clone()).expect("predict") {
+            Served::Ok(replies) => replies,
+            Served::Busy => panic!("unexpected Busy under closed-loop load"),
+        };
+        let trains: Vec<TrainItem> = items
+            .iter()
+            .zip(&replies)
+            .map(|(item, r)| TrainItem {
+                ticket: r.ticket,
+                pc: item.pc,
+                outcome: LoadOutcome::dependent(ObservedDependence {
+                    distance: StoreDistance::new(3).expect("in range"),
+                    class: BypassClass::DirectBypass,
+                    store_pc: item.pc.wrapping_sub(8),
+                    branches_between: 0,
+                }),
+            })
+            .collect();
+        match client.train(trains).expect("train") {
+            Served::Ok(_) => {}
+            Served::Busy => panic!("unexpected Busy under closed-loop load"),
+        }
+    }
+}
+
+/// What the server predicts for every warmed PC at a fixed store sequence.
+fn wire_fingerprint(client: &mut Client) -> Vec<MemDepPrediction> {
+    let items: Vec<PredictItem> = (0..SNAP_PCS)
+        .map(|i| PredictItem {
+            pc: SNAP_PC_BASE + i * 4,
+            store_seq: 1 << 40,
+        })
+        .collect();
+    match client.predict(items).expect("fingerprint predict") {
+        Served::Ok(replies) => replies.iter().map(|r| r.prediction).collect(),
+        Served::Busy => panic!("unexpected Busy under closed-loop load"),
+    }
+}
+
+/// A snapshot taken over the wire from a warmed 4-shard server restores
+/// into a cold 3-shard server (union reshard) with every prediction
+/// intact, and the warm counters become visible through `Stats`.
+#[test]
+fn wire_snapshot_restores_across_shard_counts() {
+    let (addr_a, handle_a) = spawn_server(4);
+    let mut client = Client::connect(&addr_a).expect("connect");
+    warm_over_wire(&mut client, 30);
+    let before = wire_fingerprint(&mut client);
+    let snap = client.snapshot().expect("snapshot");
+    // The blob is a valid container with one payload per shard.
+    let file = SnapshotFile::decode(&snap).expect("well-formed container");
+    assert_eq!(file.kind_label, PredictorKind::Mascot.label());
+    assert_eq!(file.shards.len(), 4);
+    client.shutdown().expect("shutdown");
+    handle_a.join().expect("server thread");
+
+    let (addr_b, handle_b) = spawn_server(3);
+    let mut client = Client::connect(&addr_b).expect("connect");
+    let restored = client.restore(snap).expect("restore");
+    assert!(restored > 0, "a warmed snapshot restores entries");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.total_restored(), restored);
+    for shard in &stats.shards {
+        assert!(shard.restored_entries > 0, "every shard warm-started");
+    }
+    assert_eq!(wire_fingerprint(&mut client), before);
+    client.shutdown().expect("shutdown");
+    handle_b.join().expect("server thread");
+}
+
+/// Restore fails closed over the wire: garbage bytes and a kind-mismatched
+/// container are both rejected with an `Error`, the connection stays
+/// usable, and the server's state is untouched.
+#[test]
+fn wire_restore_fails_closed() {
+    let (addr, handle) = spawn_server(2);
+    let mut client = Client::connect(&addr).expect("connect");
+    warm_over_wire(&mut client, 5);
+    let before = wire_fingerprint(&mut client);
+
+    assert!(client.restore(vec![0xde, 0xad, 0xbe, 0xef]).is_err());
+
+    // A well-formed container from the wrong predictor kind.
+    let phast = PredictorKind::Phast.build();
+    let wrong_kind = SnapshotFile {
+        kind_label: PredictorKind::Phast.label().into_owned(),
+        created_unix_s: 0,
+        restarts: 0,
+        shards: vec![AnyPredictor::snapshot_bytes(&phast); 2],
+    };
+    assert!(client.restore(wrong_kind.encode()).is_err());
+
+    // Same connection, state unchanged: fail-closed means nothing was
+    // applied before the rejection.
+    assert_eq!(wire_fingerprint(&mut client), before);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.total_restored(), 0);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
 }
 
 /// A frame with the wrong magic gets an `Error` response and the
