@@ -20,7 +20,9 @@
 //! Any mismatch is fatal before the server accepts a single connection.
 //!
 //! `--port-file` writes the bound address (one line) once the listener is
-//! up — scripts bind port 0 and discover the real port from the file.
+//! registered with the event loop's poller — i.e. once the server is
+//! actually accepting — so scripts can bind port 0, poll for the file, and
+//! connect immediately.
 //!
 //! `--snapshot-dir DIR` makes the predictor state durable across restarts:
 //! on boot, `DIR/mascot.snap` (when present) is decoded fail-closed and
@@ -224,7 +226,7 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let server = match Server::bind_with(
+    let mut server = match Server::bind_with(
         &args.cfg,
         warm.as_ref().map(|w| w.predictors.clone()),
     ) {
@@ -295,13 +297,17 @@ fn main() -> ExitCode {
         }
     }
 
-    // Written only after bind (and replay warm-up): the file appearing
-    // means the server is ready for connections.
-    if let Some(path) = &args.port_file {
-        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
-            eprintln!("mascotd: failed to write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+    // Written only once the listener is registered with the poller (and
+    // replay warm-up is done): the file appearing means the event loop is
+    // actually accepting, not merely bound — a poll-for-the-file script
+    // can connect the instant it reads the address.
+    if let Some(path) = args.port_file.clone() {
+        server.set_on_ready(Box::new(move || {
+            if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+                eprintln!("mascotd: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }));
     }
 
     let (stats, payloads) = server.run_collecting(args.snapshot_dir.is_some());

@@ -12,8 +12,15 @@
 //!   bounded queues (full queue → `Busy`, never an unbounded buffer), and
 //!   workers drain several jobs per queue pop to amortise wakeups.
 //!   Predict→train metadata stays server-side in a per-shard ticket slab.
-//! * [`server`] — the TCP accept loop and scatter/gather dispatch, with
-//!   graceful drain on `Shutdown`.
+//! * [`poll`] — a level-triggered `epoll` wrapper and an `eventfd` waker
+//!   over raw syscalls (the workspace builds offline; no I/O crates).
+//! * [`conn`] — per-connection receive/send buffers: incremental frame
+//!   reassembly with zero-copy payload access, partial-write resumption,
+//!   and the backpressure thresholds.
+//! * [`server`] — the readiness-driven event loop: nonblocking accept,
+//!   per-connection state machines over [`conn`], scatter/gather dispatch
+//!   into the shard queues with in-order pipelined responses, and graceful
+//!   drain on `Shutdown` (DESIGN.md §11).
 //! * [`client`] — a small synchronous client used by the load generator
 //!   and the integration tests.
 //! * [`replay`] — feeds an `.mtrc` trace through the pool as training
@@ -35,7 +42,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod conn;
 pub mod metrics;
+pub mod poll;
 pub mod replay;
 pub mod server;
 pub mod shard;

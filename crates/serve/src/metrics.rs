@@ -2,20 +2,30 @@
 //! latency histogram.
 //!
 //! Shard workers and connection handlers update atomics on the hot path;
-//! `Stats` requests snapshot them without stopping the world. The histogram
-//! uses power-of-two nanosecond buckets, so recording is a `leading_zeros`
-//! plus one relaxed `fetch_add` and percentile queries are exact to within
-//! a factor of two — plenty for p50/p99 service-time reporting, with no
-//! allocation and no locks.
+//! `Stats` requests snapshot them without stopping the world. The
+//! histogram uses **log-linear** nanosecond buckets (HDR-style): each
+//! power-of-two octave is split into [`SUB_BUCKETS`] linear sub-buckets,
+//! so recording is a `leading_zeros`, a shift, and one relaxed
+//! `fetch_add`, and percentile queries are exact to within
+//! `1/SUB_BUCKETS` of the value (12.5%). That resolution matters for the
+//! p999 numbers `mascot-loadgen --soak` gates on — the plain log2 buckets
+//! this replaced could only bound a tail sample to within a factor of
+//! two, which would make any SLO check either meaningless or flaky. No
+//! allocation, no locks.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::wire::ShardStats;
 
-/// Number of power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))` ns,
-/// with bucket 0 also holding 0 ns and the last bucket holding everything
-/// above ~9 minutes.
-pub const NUM_BUCKETS: usize = 40;
+/// Linear sub-buckets per power-of-two octave (`2^SUB_BITS`). Quantile
+/// error is bounded by `1/SUB_BUCKETS` of the reported value.
+pub const SUB_BUCKETS: usize = 8;
+const SUB_BITS: u32 = 3; // log2(SUB_BUCKETS)
+
+/// Total buckets: values `0..SUB_BUCKETS` get exact unit buckets, then
+/// every octave `[2^o, 2^(o+1))` for `o in SUB_BITS..=63` contributes
+/// `SUB_BUCKETS` buckets.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
 
 /// A fixed-bucket, lock-free latency histogram.
 #[derive(Debug)]
@@ -29,6 +39,33 @@ impl Default for Histogram {
     }
 }
 
+/// The bucket index for a sample of `ns` nanoseconds.
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        ns as usize
+    } else {
+        // Octave = position of the leading one; the next SUB_BITS bits
+        // select the linear sub-bucket within it.
+        let octave = 63 - ns.leading_zeros();
+        let sub = ((ns >> (octave - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+        (octave - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// The exclusive upper bound, in ns, of bucket `i` — what quantile queries
+/// report, so the approximation always errs on the pessimistic side.
+fn bucket_bound(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        (i + 1) as u64
+    } else {
+        let group = (i / SUB_BUCKETS) as u32; // >= 1
+        let sub = (i % SUB_BUCKETS) as u64;
+        let octave = group + SUB_BITS - 1; // 3..=63
+        let lo = (SUB_BUCKETS as u64 + sub) << (octave - SUB_BITS);
+        lo.saturating_add(1u64 << (octave - SUB_BITS))
+    }
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
@@ -37,17 +74,9 @@ impl Histogram {
         }
     }
 
-    fn bucket_of(ns: u64) -> usize {
-        if ns == 0 {
-            0
-        } else {
-            ((63 - ns.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
-        }
-    }
-
     /// Records one sample, in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time copy of the bucket counts.
@@ -88,7 +117,8 @@ impl HistogramSnapshot {
 
     /// The upper bound (exclusive, in ns) of the bucket containing the
     /// `q`-quantile sample, or 0 for an empty histogram. `q` is clamped to
-    /// `[0, 1]`; e.g. `quantile_ns(0.99)` is the approximate p99.
+    /// `[0, 1]`; e.g. `quantile_ns(0.999)` is the approximate p999,
+    /// overestimating by at most `1/SUB_BUCKETS` of the true value.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.total();
         if total == 0 {
@@ -99,10 +129,10 @@ impl HistogramSnapshot {
         for (i, &count) in self.buckets.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                return bucket_bound(i);
             }
         }
-        1u64 << NUM_BUCKETS.min(63)
+        u64::MAX
     }
 }
 
@@ -164,13 +194,43 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2() {
-        assert_eq!(Histogram::bucket_of(0), 0);
-        assert_eq!(Histogram::bucket_of(1), 0);
-        assert_eq!(Histogram::bucket_of(2), 1);
-        assert_eq!(Histogram::bucket_of(3), 1);
-        assert_eq!(Histogram::bucket_of(1024), 10);
-        assert_eq!(Histogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    fn buckets_are_log_linear() {
+        // Unit buckets below SUB_BUCKETS.
+        for ns in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_of(ns), ns as usize);
+            assert_eq!(bucket_bound(ns as usize), ns + 1);
+        }
+        // Octave boundaries are continuous: bucket_of(2^o) starts the next
+        // group, and every bucket's bound is the next bucket's start.
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(1024), 8 * SUB_BUCKETS);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(
+                bucket_of(bucket_bound(i)),
+                i + 1,
+                "bucket {i} bound must open bucket {}",
+                i + 1
+            );
+        }
+    }
+
+    /// The property the SLO gate relies on: the reported quantile bounds
+    /// the true sample from above by at most 1/SUB_BUCKETS.
+    #[test]
+    fn quantile_error_is_bounded() {
+        for ns in [1u64, 9, 100, 512, 4_096, 65_000, 1_000_000, 123_456_789] {
+            let h = Histogram::new();
+            h.record_ns(ns);
+            let q = h.snapshot().quantile_ns(1.0);
+            assert!(q > ns, "bound is exclusive: {q} vs {ns}");
+            assert!(
+                (q - ns) as f64 <= (ns as f64 / SUB_BUCKETS as f64) + 1.0,
+                "error too large: sample {ns}, reported {q}"
+            );
+        }
     }
 
     #[test]
@@ -186,8 +246,8 @@ mod tests {
         h.record_ns(8_000_000);
         let s = h.snapshot();
         assert_eq!(s.total(), 100);
-        assert_eq!(s.quantile_ns(0.50), 1024); // upper bound of the 512 bucket
-        assert!(s.quantile_ns(0.99) >= 65_536 && s.quantile_ns(0.99) < 8_000_000);
+        assert_eq!(s.quantile_ns(0.50), 576); // 512's bucket spans [512, 576)
+        assert!(s.quantile_ns(0.99) >= 64_000 && s.quantile_ns(0.99) < 8_000_000);
         assert!(s.quantile_ns(1.0) >= 8_000_000);
         assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), 0);
     }
@@ -216,6 +276,6 @@ mod tests {
         assert_eq!(s.predicts, 4);
         assert_eq!(s.trains, 1);
         assert_eq!(s.service_samples, 1);
-        assert!(s.service_p50_ns >= 2_048);
+        assert!(s.service_p50_ns >= 2_000 && s.service_p50_ns <= 2_304);
     }
 }

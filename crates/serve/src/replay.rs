@@ -21,7 +21,7 @@ use std::sync::mpsc::channel;
 use mascot::prediction::{LoadOutcome, ObservedDependence, StoreDistance};
 use mascot_sim::uop::{Trace, UopKind};
 
-use crate::shard::{ShardJob, ShardPool, ShardReply, SyncEvent};
+use crate::shard::{ReplySink, ShardJob, ShardPool, ShardReply, SyncEvent};
 use crate::wire::{PredictItem, TrainItem, MAX_BATCH};
 
 /// Uops per replay segment (events broadcast + loads predicted/trained).
@@ -146,8 +146,8 @@ fn flush_segment(
                 shard,
                 ShardJob::Predict {
                     items: chunk.iter().map(|&i| loads[i].item).collect(),
-                    tag: shard as u32,
-                    reply: tx.clone(),
+                    tag: shard as u64,
+                    reply: ReplySink::new(tx.clone()),
                 },
             );
             outstanding += 1;
@@ -194,8 +194,8 @@ fn flush_segment(
             shard,
             ShardJob::Train {
                 items,
-                tag: shard as u32,
-                reply: tx.clone(),
+                tag: shard as u64,
+                reply: ReplySink::new(tx.clone()),
             },
         );
         train_outstanding += 1;

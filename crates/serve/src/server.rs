@@ -1,39 +1,69 @@
-//! `mascotd`'s server core: TCP accept loop, per-connection framing, and
-//! request dispatch onto the shard pool.
+//! `mascotd`'s server core: a single-threaded, readiness-driven event loop
+//! multiplexing every connection over level-triggered `epoll`
+//! ([`crate::poll`]), dispatching into the shard pool.
 //!
-//! One handler thread per connection reads frames with a short poll
-//! timeout so it can notice a shutdown while idle without ever abandoning
-//! a frame mid-read. Dispatch scatters a batch over the owning shards and
-//! gathers the sub-replies back into request order.
+//! One thread owns the listener and all connections. Each readable event
+//! pulls at most [`READ_CHUNK`] bytes into the connection's
+//! [`RecvBuf`], parses every complete frame it holds, and scatters the
+//! batch over the owning shards; sub-replies come back on an unbounded
+//! channel paired with an `eventfd` waker, are reassembled in a gather
+//! slab, and are written out strictly in request order (pipelining:
+//! clients may have many requests in flight per connection). Partial
+//! reads and writes resume where they stopped — the state machine per
+//! connection is exactly `reading frames ⇄ writing responses`, both sides
+//! restartable at any byte boundary (DESIGN.md §11).
 //!
-//! Backpressure is all-or-nothing per request: if *any* owning shard's
-//! queue is full the client gets `Busy` immediately — the handler does not
-//! wait for sub-batches that were already enqueued (their replies go to a
-//! dropped channel, and any work they did simply ages out of the pending
-//! table). The client treats `Busy` as "retry the whole batch", so
-//! double-processed predictions only cost pending-table slots, never
-//! correctness.
+//! Fairness is the level-triggered contract: a connection with more
+//! buffered input than one chunk is simply re-reported by the kernel on
+//! the next `epoll_wait`, behind every other ready fd, so a hot
+//! connection cannot starve thousands of idle ones.
+//!
+//! Backpressure is layered:
+//! * per request, all-or-nothing `Busy` when any owning shard's bounded
+//!   queue is full (replies already scattered are discarded via the gather
+//!   slab's discard mode — never delivered to the wrong request);
+//! * per connection, reading pauses when the send buffer or the in-flight
+//!   response count crosses [`crate::conn`]'s thresholds, and resumes at
+//!   half (hysteresis), so a client that never reads its responses stops
+//!   being served instead of ballooning server memory.
+//!
+//! Shutdown drains: the `Shutdown` response is flushed, the listener is
+//! deregistered, idle connections close immediately, and connections with
+//! responses still owed get [`DRAIN_GRACE`] to take delivery.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, SyncSender};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use mascot_predictors::{AnyPredictor, PredictorKind};
 use mascot_snapshot::SnapshotFile;
 
+use crate::conn::{Conn, Inflight, READ_CHUNK};
 use crate::metrics::ShardMetrics;
-use crate::shard::{shard_of, ShardJob, ShardPool, ShardPoolConfig, ShardReply};
+use crate::poll::{Event, Poller, Waker};
+use crate::shard::{shard_of, ReplySink, ShardJob, ShardPool, ShardPoolConfig, ShardReply};
 use crate::wire::{
-    self, PredictItem, PredictReply, Request, Response, StatsReport, TrainItem, MAX_BATCH,
+    PredictItem, PredictReply, Request, Response, StatsReport, TrainItem, MAX_BATCH,
     MAX_SNAPSHOT_FRAME_PAYLOAD,
 };
 
-/// How often an idle connection handler wakes to check for shutdown.
-const READ_POLL: Duration = Duration::from_millis(25);
+/// Token of the listening socket in the poller.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token of the completion waker in the poller.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// Bits of a reply tag reserved for the sub-batch's shard index; the rest
+/// is the gather slot.
+const TAG_SHARD_BITS: u32 = 16;
+/// How long connections still owed responses get to take delivery after a
+/// `Shutdown`, before being force-closed.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// Poll tick while draining, so the grace deadline is observed.
+const DRAIN_TICK_MS: i32 = 50;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -56,37 +86,20 @@ impl Default for ServeConfig {
     }
 }
 
-/// State shared between the accept loop and the connection handlers.
-struct Shared {
-    senders: Vec<SyncSender<ShardJob>>,
-    metrics: Vec<Arc<ShardMetrics>>,
-    kind: PredictorKind,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-}
-
-impl Shared {
-    fn total_requests(&self) -> u64 {
-        self.metrics
-            .iter()
-            .map(|m| m.requests.load(Ordering::Relaxed))
-            .sum()
-    }
-}
-
 /// A bound, not-yet-running server.
-#[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     pool: ShardPool,
-    shared: Arc<Shared>,
+    kind: PredictorKind,
+    addr: SocketAddr,
+    on_ready: Option<Box<dyn FnOnce() + Send>>,
 }
 
-impl std::fmt::Debug for Shared {
+impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("shards", &self.senders.len())
+        f.debug_struct("Server")
             .field("addr", &self.addr)
+            .field("shards", &self.pool.num_shards())
             .finish()
     }
 }
@@ -119,28 +132,35 @@ impl Server {
             Some(p) => ShardPool::with_predictors(p, &cfg.pool),
             None => ShardPool::new(cfg.kind, &cfg.pool),
         };
-        let shared = Arc::new(Shared {
-            senders: pool.senders().to_vec(),
-            metrics: pool.metrics().iter().map(Arc::clone).collect(),
-            kind: cfg.kind,
-            shutdown: AtomicBool::new(false),
-            addr,
-        });
+        assert!(
+            pool.num_shards() < (1 << TAG_SHARD_BITS),
+            "shard index must fit the reply-tag field"
+        );
         Ok(Server {
             listener,
             pool,
-            shared,
+            kind: cfg.kind,
+            addr,
+            on_ready: None,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.addr
     }
 
     /// Direct access to the shard pool (replay warm-up runs before `run`).
     pub fn pool(&self) -> &ShardPool {
         &self.pool
+    }
+
+    /// Registers a callback invoked once the listener is registered with
+    /// the poller — the earliest point at which the server is actually
+    /// accepting under load. `mascotd --port-file` writes its readiness
+    /// file here, not before.
+    pub fn set_on_ready(&mut self, f: Box<dyn FnOnce() + Send>) {
+        self.on_ready = Some(f);
     }
 
     /// Serves until a `Shutdown` request, then drains every shard and
@@ -157,40 +177,29 @@ impl Server {
         let Server {
             listener,
             pool,
-            shared,
+            kind,
+            addr: _,
+            on_ready,
         } = self;
-        let mut conns: Vec<JoinHandle<()>> = Vec::new();
-        for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::Acquire) {
-                break; // the stream (often the self-connect nudge) is dropped
-            }
-            let Ok(stream) = stream else { continue };
-            let shared = Arc::clone(&shared);
-            conns.push(
-                std::thread::Builder::new()
-                    .name("mascot-conn".to_string())
-                    .spawn(move || handle_conn(stream, &shared))
-                    .expect("spawn connection handler"),
-            );
-            conns.retain(|h| !h.is_finished());
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let mut el = EventLoop::new(listener, &pool, kind).expect("event loop setup");
+        if let Some(ready) = on_ready {
+            ready();
         }
-        for conn in conns {
-            let _ = conn.join();
-        }
-        // All connection handlers are gone, so no new work can arrive; a
-        // snapshot taken now is the final state. The pool's own senders are
-        // still alive, so the workers are still draining and reachable.
+        el.run();
+        // The loop holds sender clones; they must go before `shutdown`, or
+        // the workers never observe disconnect and the join blocks forever.
+        drop(el);
+        // No connections remain, so no new work can arrive; a snapshot
+        // taken now is the final state. The pool's own senders are still
+        // alive, so the workers are still draining and reachable.
         let payloads = if collect_snapshot {
             pool.snapshot_shards()
         } else {
             Vec::new()
         };
-        // `shared` holds the last sender clones outside the pool — it must
-        // go first, or the workers never observe disconnect and `shutdown`
-        // joins forever.
-        drop(shared);
-        // Dropping the pool's own senders lets each worker drain its
-        // remaining queue and exit.
         (pool.shutdown(), payloads)
     }
 
@@ -199,77 +208,588 @@ impl Server {
     pub fn spawn(self) -> (SocketAddr, JoinHandle<StatsReport>) {
         let addr = self.local_addr();
         let handle = std::thread::Builder::new()
-            .name("mascotd-accept".to_string())
+            .name("mascotd-loop".to_string())
             .spawn(move || self.run())
             .expect("spawn server");
         (addr, handle)
     }
 }
 
-/// One connection: read frames until close, error, or shutdown.
-fn handle_conn(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
+/// One scatter/gather in flight: sub-replies land here until `remaining`
+/// hits zero, then the encoded response parks in `result` until the
+/// connection's response pipeline reaches it.
+///
+/// A slot is freed only at `remaining == 0` — never early — so a late
+/// sub-reply can never alias a recycled slot. `discard` (set when the
+/// request was answered `Busy` mid-scatter, or the connection died)
+/// swallows the completed gather instead of encoding it.
+struct Gather {
+    conn: usize,
+    kind: GatherKind,
+    remaining: u32,
+    discard: bool,
+    result: Option<Vec<u8>>,
+}
+
+enum GatherKind {
+    Predict {
+        /// Replies slotted back into request order.
+        out: Vec<Option<PredictReply>>,
+        /// Request indices per shard (the scatter layout).
+        subs: Vec<Vec<usize>>,
+    },
+    Train {
+        applied: u32,
+        stale: u32,
+    },
+}
+
+/// The event loop: owns the poller, the connection and gather slabs, and
+/// clones of the pool's queue senders.
+struct EventLoop {
+    poller: Poller,
+    waker: Arc<Waker>,
+    reply_sink: ReplySink,
+    reply_rx: Receiver<(u64, ShardReply)>,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    free_conns: Vec<usize>,
+    /// Slots closed during the current poll batch; recycled only after the
+    /// batch, so a stale event can't hit a freshly accepted connection.
+    dead: Vec<usize>,
+    gathers: Vec<Option<Gather>>,
+    free_gathers: Vec<usize>,
+    senders: Vec<SyncSender<ShardJob>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    kind: PredictorKind,
+    accepting: bool,
+    draining: bool,
+    deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, pool: &ShardPool, kind: PredictorKind) -> io::Result<Self> {
+        let poller = Poller::new()?;
+        let waker = Arc::new(Waker::new()?);
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        poller.add(waker.fd(), TOKEN_WAKER, true, false)?;
+        let (tx, reply_rx) = channel();
+        Ok(Self {
+            poller,
+            reply_sink: ReplySink::with_waker(tx, Arc::clone(&waker)),
+            waker,
+            reply_rx,
+            listener,
+            conns: Vec::new(),
+            free_conns: Vec::new(),
+            dead: Vec::new(),
+            gathers: Vec::new(),
+            free_gathers: Vec::new(),
+            senders: pool.senders().to_vec(),
+            metrics: pool.metrics().iter().map(Arc::clone).collect(),
+            kind,
+            accepting: true,
+            draining: false,
+            deadline: None,
+        })
     }
-    let mut rd = match stream.try_clone() {
-        Ok(rd) => rd,
-        Err(_) => return,
-    };
-    let abort = || shared.shutdown.load(Ordering::Acquire);
-    loop {
-        let (code, payload) = match wire::read_frame_abortable(&mut rd, &abort) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean close or idle shutdown
-            Err(e) => {
-                // Framing is unrecoverable mid-stream: report and drop.
-                // (An Error response always encodes.)
-                let resp = Response::Error(e.to_string());
-                if let Ok(frame) = resp.encode_frame() {
-                    let _ = stream.write_all(&frame);
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = if self.draining { DRAIN_TICK_MS } else { -1 };
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        if self.accepting {
+                            self.accept_all();
+                        }
+                    }
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        let idx = token as usize;
+                        if idx >= self.conns.len() || self.conns[idx].is_none() {
+                            continue; // closed earlier in this batch
+                        }
+                        if ev.hangup {
+                            self.close_conn(idx);
+                            continue;
+                        }
+                        if ev.readable {
+                            self.handle_readable(idx);
+                        }
+                        if ev.writable {
+                            self.service_conn(idx);
+                        }
+                    }
                 }
+            }
+            self.drain_replies();
+            self.free_conns.append(&mut self.dead);
+            if self.draining {
+                if self.conns.iter().all(Option::is_none) {
+                    break;
+                }
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    for idx in 0..self.conns.len() {
+                        if self.conns[idx].is_some() {
+                            self.close_conn(idx);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let idx = match self.free_conns.pop() {
+                        Some(i) => {
+                            self.conns[i] = Some(Conn::new(stream));
+                            i
+                        }
+                        None => {
+                            self.conns.push(Some(Conn::new(stream)));
+                            self.conns.len() - 1
+                        }
+                    };
+                    let fd = self.conns[idx].as_ref().expect("just stored").stream.as_raw_fd();
+                    if self.poller.add(fd, idx as u64, true, false).is_err() {
+                        self.conns[idx] = None;
+                        self.free_conns.push(idx);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Transient (ECONNABORTED) and resource (EMFILE) errors
+                // alike: stop for this readiness event rather than spin;
+                // level-triggered epoll re-reports a non-empty backlog.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// One bounded read, then parse everything complete.
+    fn handle_readable(&mut self, idx: usize) {
+        {
+            let Some(c) = self.conns[idx].as_mut() else { return };
+            if !c.reading || c.eof || c.poisoned {
+                return; // stale event for a paused/finished reader
+            }
+            match c.rd.fill(&mut c.stream, READ_CHUNK) {
+                Ok(0) => c.eof = true,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        self.parse_buffered(idx);
+        self.service_conn(idx);
+    }
+
+    /// Parses and dispatches every complete frame in the receive buffer,
+    /// stopping at backpressure, poison, or drain.
+    fn parse_buffered(&mut self, idx: usize) {
+        loop {
+            let Some(c) = self.conns[idx].as_mut() else { return };
+            if c.poisoned || self.draining {
                 return;
             }
-        };
-        let response = match Request::decode(code, &payload) {
-            Ok(req) => dispatch(req, shared),
-            // A well-framed but malformed payload: the stream is still in
-            // sync, so answer and keep serving.
-            Err(e) => Response::Error(e.to_string()),
-        };
-        let shutting_down = matches!(response, Response::Shutdown { .. });
-        // Responses mirror validated requests (reply batch == request batch,
-        // shard count fixed at startup), so encode failure here means a
-        // server bug; drop the connection rather than desync the stream.
-        let frame = match response.encode_frame() {
-            Ok(frame) => frame,
-            Err(_) => return,
-        };
-        if stream.write_all(&frame).is_err() {
+            if c.should_pause() {
+                c.reading = false;
+                return;
+            }
+            let (code, len) = match c.rd.peek_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return,
+                Err(e) => {
+                    // Framing is unrecoverable mid-stream: report, then
+                    // stop parsing and close once the report is delivered.
+                    c.poisoned = true;
+                    let msg = e.to_string();
+                    self.push_done(idx, Response::Error(msg));
+                    return;
+                }
+            };
+            let decoded = Request::decode(code, c.rd.payload(len));
+            c.rd.consume_frame(len);
+            match decoded {
+                Ok(req) => self.dispatch(idx, req),
+                // A well-framed but malformed payload: the stream is still
+                // in sync, so answer and keep serving.
+                Err(e) => self.push_done(idx, Response::Error(e.to_string())),
+            }
+        }
+    }
+
+    fn dispatch(&mut self, idx: usize, req: Request) {
+        match req {
+            Request::Predict(items) => self.scatter_predict(idx, items),
+            Request::Train(items) => self.scatter_train(idx, items),
+            Request::Stats => {
+                let report = StatsReport {
+                    shards: self.metrics.iter().map(|m| m.snapshot()).collect(),
+                };
+                self.push_done(idx, Response::Stats(report));
+            }
+            Request::Shutdown => {
+                let served = self
+                    .metrics
+                    .iter()
+                    .map(|m| m.requests.load(Ordering::Relaxed))
+                    .sum();
+                self.push_done(idx, Response::Shutdown { served });
+                if !self.draining {
+                    self.begin_drain();
+                }
+            }
+            Request::Snapshot => {
+                let resp = snapshot_response(&self.senders, &self.metrics, self.kind);
+                self.push_done(idx, resp);
+            }
+            Request::Restore(bytes) => {
+                let resp = restore_response(&bytes, &self.senders, &self.metrics, self.kind);
+                self.push_done(idx, resp);
+            }
+        }
+    }
+
+    fn scatter_predict(&mut self, idx: usize, items: Vec<PredictItem>) {
+        if items.len() > MAX_BATCH {
+            self.push_done(idx, Response::Error("batch exceeds MAX_BATCH".to_string()));
             return;
         }
-        if shutting_down {
-            // Unblock the accept loop (it re-checks the flag per accept).
-            let _ = TcpStream::connect(shared.addr);
+        let shards = self.senders.len();
+        let by_shard = partition(&items, |it| it.pc, shards);
+        let subs: Vec<(usize, Vec<PredictItem>)> = by_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .map(|(s, idxs)| (s, idxs.iter().map(|&i| items[i]).collect()))
+            .collect();
+        let slot = self.alloc_gather(
+            idx,
+            GatherKind::Predict {
+                out: vec![None; items.len()],
+                subs: by_shard,
+            },
+        );
+        self.scatter(idx, slot, subs, |items, tag, reply| ShardJob::Predict {
+            items,
+            tag,
+            reply,
+        });
+    }
+
+    fn scatter_train(&mut self, idx: usize, items: Vec<TrainItem>) {
+        if items.len() > MAX_BATCH {
+            self.push_done(idx, Response::Error("batch exceeds MAX_BATCH".to_string()));
             return;
         }
+        let shards = self.senders.len();
+        let by_shard = partition(&items, |it| it.pc, shards);
+        let subs: Vec<(usize, Vec<TrainItem>)> = by_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .map(|(s, idxs)| (s, idxs.iter().map(|&i| items[i]).collect()))
+            .collect();
+        let slot = self.alloc_gather(idx, GatherKind::Train { applied: 0, stale: 0 });
+        self.scatter(idx, slot, subs, |items, tag, reply| ShardJob::Train {
+            items,
+            tag,
+            reply,
+        });
+    }
+
+    /// Non-blocking scatter over the owning shards. All-or-nothing: the
+    /// first full queue answers `Busy` and puts the gather in discard mode
+    /// for whatever was already enqueued.
+    fn scatter<T>(
+        &mut self,
+        idx: usize,
+        slot: usize,
+        subs: Vec<(usize, Vec<T>)>,
+        job_of: impl Fn(Vec<T>, u64, ReplySink) -> ShardJob,
+    ) {
+        let mut sent = 0u32;
+        for (shard, sub) in subs {
+            let n = sub.len() as u64;
+            let tag = ((slot as u64) << TAG_SHARD_BITS) | shard as u64;
+            let job = job_of(sub, tag, self.reply_sink.clone());
+            if self.senders[shard].try_send(job).is_err() {
+                self.metrics[shard].rejected_full.fetch_add(n, Ordering::Relaxed);
+                if sent == 0 {
+                    self.free_gather(slot);
+                } else {
+                    let g = self.gathers[slot].as_mut().expect("live gather");
+                    g.remaining = sent;
+                    g.discard = true;
+                }
+                self.push_done(idx, Response::Busy);
+                return;
+            }
+            sent += 1;
+        }
+        if sent == 0 {
+            // Empty batch: answer immediately, nothing to wait for.
+            let g = self.gathers[slot].take().expect("live gather");
+            self.free_gathers.push(slot);
+            let resp = gather_response(g.kind);
+            self.push_done(idx, resp);
+        } else {
+            self.gathers[slot].as_mut().expect("live gather").remaining = sent;
+            if let Some(c) = self.conns[idx].as_mut() {
+                c.inflight.push_back(Inflight::Waiting { gather: slot });
+            }
+        }
+    }
+
+    /// Applies every queued shard reply (non-blocking).
+    fn drain_replies(&mut self) {
+        while let Ok((tag, reply)) = self.reply_rx.try_recv() {
+            self.on_reply(tag, reply);
+        }
+    }
+
+    fn on_reply(&mut self, tag: u64, reply: ShardReply) {
+        let slot = (tag >> TAG_SHARD_BITS) as usize;
+        let shard = (tag & ((1 << TAG_SHARD_BITS) - 1)) as usize;
+        let Some(g) = self.gathers.get_mut(slot).and_then(Option::as_mut) else {
+            return; // only reachable if a worker fabricated a tag
+        };
+        match (&mut g.kind, reply) {
+            (GatherKind::Predict { out, subs }, ShardReply::Predict(replies)) => {
+                for (&i, r) in subs[shard].iter().zip(replies) {
+                    out[i] = Some(r);
+                }
+            }
+            (GatherKind::Train { applied, stale }, ShardReply::Train { applied: a, stale: s }) => {
+                *applied += a;
+                *stale += s;
+            }
+            // A mismatched reply kind still decrements `remaining` below,
+            // so the slot cannot leak; a predict gather with holes answers
+            // an explicit error.
+            _ => {}
+        }
+        g.remaining -= 1;
+        if g.remaining > 0 {
+            return;
+        }
+        if g.discard {
+            self.free_gather(slot);
+            return;
+        }
+        let kind = std::mem::replace(&mut g.kind, GatherKind::Train { applied: 0, stale: 0 });
+        let conn = g.conn;
+        let resp = gather_response(kind);
+        let frame = encode_or_error(resp);
+        self.gathers[slot].as_mut().expect("live gather").result = Some(frame);
+        self.service_conn(conn);
+    }
+
+    /// Moves every response whose turn has come into the send buffer,
+    /// flushes, resumes paused parsing when below the hysteresis
+    /// thresholds, updates epoll interest, and closes finished connections.
+    fn service_conn(&mut self, idx: usize) {
+        loop {
+            self.pump(idx);
+            let Some(c) = self.conns[idx].as_mut() else { return };
+            if c.wr.flush(&mut c.stream).is_err() {
+                self.close_conn(idx);
+                return;
+            }
+            // Resume parsing frames that were already buffered while
+            // paused — epoll will not re-report bytes we already hold.
+            let resume = !c.reading
+                && !c.eof
+                && !c.poisoned
+                && !self.draining
+                && c.may_resume()
+                && c.rd.buffered() > 0;
+            if !resume {
+                break;
+            }
+            c.reading = true;
+            self.parse_buffered(idx);
+            if self.conns[idx].is_none() {
+                return;
+            }
+        }
+        let Some(c) = self.conns[idx].as_mut() else { return };
+        if !c.reading && !c.eof && !c.poisoned && !self.draining && c.may_resume() {
+            c.reading = true; // nothing buffered; epoll reports new bytes
+        }
+        let done =
+            c.finished() || (self.draining && c.inflight.is_empty() && c.wr.is_empty());
+        if done {
+            self.close_conn(idx);
+        } else {
+            self.update_interest(idx);
+        }
+    }
+
+    /// Pops leading pipeline entries that are ready into the send buffer.
+    fn pump(&mut self, idx: usize) {
+        enum Next {
+            Done,
+            Gather(usize),
+            Stop,
+        }
+        loop {
+            let next = match self.conns[idx].as_ref() {
+                None => return,
+                Some(c) => match c.inflight.front() {
+                    None => Next::Stop,
+                    Some(Inflight::Done(_)) => Next::Done,
+                    Some(Inflight::Waiting { gather }) => Next::Gather(*gather),
+                },
+            };
+            match next {
+                Next::Stop => return,
+                Next::Done => {
+                    let c = self.conns[idx].as_mut().expect("checked above");
+                    let Some(Inflight::Done(bytes)) = c.inflight.pop_front() else {
+                        unreachable!("front just observed")
+                    };
+                    c.wr.push(&bytes);
+                }
+                Next::Gather(slot) => {
+                    let ready = self.gathers[slot].as_mut().and_then(|g| g.result.take());
+                    let Some(bytes) = ready else { return };
+                    self.free_gather(slot);
+                    let c = self.conns[idx].as_mut().expect("checked above");
+                    c.inflight.pop_front();
+                    c.wr.push(&bytes);
+                }
+            }
+        }
+    }
+
+    /// Queues an encoded response at the back of the connection's pipeline.
+    fn push_done(&mut self, idx: usize, resp: Response) {
+        let frame = encode_or_error(resp);
+        if let Some(c) = self.conns[idx].as_mut() {
+            c.inflight.push_back(Inflight::Done(frame));
+        }
+    }
+
+    /// Stops accepting and starts the drain clock; connections owed
+    /// nothing close now, the rest flush under the deadline.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.deadline = Some(Instant::now() + DRAIN_GRACE);
+        self.accepting = false;
+        self.poller.delete(self.listener.as_raw_fd());
+        for idx in 0..self.conns.len() {
+            let close = match self.conns[idx].as_ref() {
+                Some(c) => c.inflight.is_empty() && c.wr.is_empty(),
+                None => false,
+            };
+            if close {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// Mirrors the connection's desired interests into epoll, skipping the
+    /// syscall when nothing changed.
+    fn update_interest(&mut self, idx: usize) {
+        let draining = self.draining;
+        let Some(c) = self.conns[idx].as_mut() else { return };
+        let want_r = c.reading && !c.eof && !c.poisoned && !draining;
+        let want_w = !c.wr.is_empty();
+        if want_r != c.reg_read || want_w != c.want_write {
+            let _ = self
+                .poller
+                .modify(c.stream.as_raw_fd(), idx as u64, want_r, want_w);
+            c.reg_read = want_r;
+            c.want_write = want_w;
+        }
+    }
+
+    /// Closes a connection and detaches its outstanding gathers: slots
+    /// with sub-replies still in flight flip to discard mode, completed
+    /// ones free immediately.
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else { return };
+        self.poller.delete(conn.stream.as_raw_fd());
+        for inf in &conn.inflight {
+            let Inflight::Waiting { gather } = *inf else { continue };
+            let free_now = match self.gathers[gather].as_mut() {
+                Some(g) if g.remaining > 0 => {
+                    g.discard = true;
+                    false
+                }
+                Some(_) => true,
+                None => false,
+            };
+            if free_now {
+                self.free_gather(gather);
+            }
+        }
+        self.dead.push(idx);
+    }
+
+    fn alloc_gather(&mut self, conn: usize, kind: GatherKind) -> usize {
+        let g = Gather {
+            conn,
+            kind,
+            remaining: 0,
+            discard: false,
+            result: None,
+        };
+        match self.free_gathers.pop() {
+            Some(i) => {
+                self.gathers[i] = Some(g);
+                i
+            }
+            None => {
+                self.gathers.push(Some(g));
+                self.gathers.len() - 1
+            }
+        }
+    }
+
+    fn free_gather(&mut self, slot: usize) {
+        self.gathers[slot] = None;
+        self.free_gathers.push(slot);
     }
 }
 
-fn dispatch(req: Request, shared: &Shared) -> Response {
-    match req {
-        Request::Predict(items) => dispatch_predict(items, shared),
-        Request::Train(items) => dispatch_train(items, shared),
-        Request::Stats => Response::Stats(StatsReport {
-            shards: shared.metrics.iter().map(|m| m.snapshot()).collect(),
-        }),
-        Request::Shutdown => {
-            let served = shared.total_requests();
-            shared.shutdown.store(true, Ordering::Release);
-            Response::Shutdown { served }
-        }
-        Request::Snapshot => dispatch_snapshot(shared),
-        Request::Restore(bytes) => dispatch_restore(&bytes, shared),
+/// Encodes the response, falling back to an `Error` frame (which always
+/// encodes — its length is checked at construction) if the response
+/// exceeds a wire limit.
+fn encode_or_error(resp: Response) -> Vec<u8> {
+    match resp.encode_frame() {
+        Ok(frame) => frame,
+        Err(e) => Response::Error(format!("response encoding failed: {e}"))
+            .encode_frame()
+            .expect("error response encodes"),
+    }
+}
+
+/// Builds the response for a completed (or empty) gather.
+fn gather_response(kind: GatherKind) -> Response {
+    match kind {
+        GatherKind::Predict { out, .. } => match out.into_iter().collect::<Option<Vec<_>>>() {
+            Some(replies) => Response::Predict(replies),
+            None => Response::Error("incomplete scatter-gather".to_string()),
+        },
+        GatherKind::Train { applied, stale } => Response::Train { applied, stale },
     }
 }
 
@@ -334,19 +854,26 @@ pub fn predictors_from_snapshot(
     Ok(vec![union; target])
 }
 
-fn dispatch_snapshot(shared: &Shared) -> Response {
+/// Gathers every shard's serialized state into one `Snapshot` response.
+/// Runs inline on the event loop: the blocking sends and receives are safe
+/// because shard workers never block (replies go to unbounded channels).
+fn snapshot_response(
+    senders: &[SyncSender<ShardJob>],
+    metrics: &[Arc<ShardMetrics>],
+    kind: PredictorKind,
+) -> Response {
     let (tx, rx) = channel();
-    for (shard, sender) in shared.senders.iter().enumerate() {
+    for (shard, sender) in senders.iter().enumerate() {
         let job = ShardJob::Snapshot {
-            tag: shard as u32,
-            reply: tx.clone(),
+            tag: shard as u64,
+            reply: ReplySink::new(tx.clone()),
         };
         if sender.send(job).is_err() {
             return Response::Error("shard worker exited".to_string());
         }
     }
     drop(tx);
-    let mut payloads = vec![Vec::new(); shared.senders.len()];
+    let mut payloads = vec![Vec::new(); senders.len()];
     let mut received = 0usize;
     for (tag, reply) in rx.iter() {
         let ShardReply::Snapshot(bytes) = reply else {
@@ -355,13 +882,13 @@ fn dispatch_snapshot(shared: &Shared) -> Response {
         payloads[tag as usize] = bytes;
         received += 1;
     }
-    if received != shared.senders.len() {
+    if received != senders.len() {
         return Response::Error("incomplete snapshot gather".to_string());
     }
     let file = SnapshotFile {
-        kind_label: shared.kind.label().into_owned(),
+        kind_label: kind.label().into_owned(),
         created_unix_s: unix_now_s(),
-        restarts: shared.metrics[0].restarts.load(Ordering::Relaxed),
+        restarts: metrics[0].restarts.load(Ordering::Relaxed),
         shards: payloads,
     };
     let bytes = file.encode();
@@ -371,33 +898,35 @@ fn dispatch_snapshot(shared: &Shared) -> Response {
     Response::Snapshot(bytes)
 }
 
-fn dispatch_restore(bytes: &[u8], shared: &Shared) -> Response {
+/// Validates and scatters a `Restore` payload onto every shard. Inline on
+/// the event loop, same blocking rationale as [`snapshot_response`].
+fn restore_response(
+    bytes: &[u8],
+    senders: &[SyncSender<ShardJob>],
+    metrics: &[Arc<ShardMetrics>],
+    kind: PredictorKind,
+) -> Response {
     let file = match SnapshotFile::decode(bytes) {
         Ok(f) => f,
         Err(e) => return Response::Error(format!("snapshot rejected: {e}")),
     };
-    let expected = shared.kind.label();
+    let expected = kind.label();
     if file.kind_label != expected {
         return Response::Error(format!(
             "snapshot rejected: holds {:?} state, this server runs {:?}",
             file.kind_label, expected
         ));
     }
-    let predictors = match predictors_from_snapshot(&file.shards, shared.senders.len()) {
+    let predictors = match predictors_from_snapshot(&file.shards, senders.len()) {
         Ok(p) => p,
         Err(e) => return Response::Error(format!("snapshot rejected: {e}")),
     };
     let (tx, rx) = channel();
-    for (shard, (sender, predictor)) in shared
-        .senders
-        .iter()
-        .zip(predictors.into_iter())
-        .enumerate()
-    {
+    for (shard, (sender, predictor)) in senders.iter().zip(predictors.into_iter()).enumerate() {
         let job = ShardJob::Restore {
             predictor: Box::new(predictor),
-            tag: shard as u32,
-            reply: tx.clone(),
+            tag: shard as u64,
+            reply: ReplySink::new(tx.clone()),
         };
         if sender.send(job).is_err() {
             return Response::Error("shard worker exited".to_string());
@@ -410,17 +939,17 @@ fn dispatch_restore(bytes: &[u8], shared: &Shared) -> Response {
         let ShardReply::Restore(entries) = reply else {
             return Response::Error("mismatched shard reply".to_string());
         };
-        shared.metrics[tag as usize]
+        metrics[tag as usize]
             .restored_entries
             .store(entries, Ordering::Relaxed);
         restored_entries += entries;
         received += 1;
     }
-    if received != shared.senders.len() {
+    if received != senders.len() {
         return Response::Error("incomplete restore scatter".to_string());
     }
     let age = unix_now_s().saturating_sub(file.created_unix_s);
-    for m in &shared.metrics {
+    for m in metrics {
         m.snapshot_age_s.store(age, Ordering::Relaxed);
         m.restarts.store(file.restarts, Ordering::Relaxed);
     }
@@ -434,92 +963,4 @@ fn partition<T>(items: &[T], pc_of: impl Fn(&T) -> u64, shards: usize) -> Vec<Ve
         by_shard[shard_of(pc_of(item), shards)].push(i);
     }
     by_shard
-}
-
-fn dispatch_predict(items: Vec<PredictItem>, shared: &Shared) -> Response {
-    if items.len() > MAX_BATCH {
-        return Response::Error("batch exceeds MAX_BATCH".to_string());
-    }
-    let shards = shared.senders.len();
-    let by_shard = partition(&items, |it| it.pc, shards);
-    let (tx, rx) = channel();
-    let mut outstanding = 0u32;
-    for (shard, idxs) in by_shard.iter().enumerate() {
-        if idxs.is_empty() {
-            continue;
-        }
-        let sub: Vec<_> = idxs.iter().map(|&i| items[i]).collect();
-        let job = ShardJob::Predict {
-            items: sub,
-            tag: shard as u32,
-            reply: tx.clone(),
-        };
-        if shared.senders[shard].try_send(job).is_err() {
-            shared.metrics[shard]
-                .rejected_full
-                .fetch_add(idxs.len() as u64, Ordering::Relaxed);
-            // Abandon the scatter: `rx` drops here, so replies from
-            // sub-batches already enqueued land in a closed channel.
-            return Response::Busy;
-        }
-        outstanding += 1;
-    }
-    drop(tx);
-    let mut out: Vec<Option<PredictReply>> = vec![None; items.len()];
-    for _ in 0..outstanding {
-        let Ok((shard, reply)) = rx.recv() else {
-            return Response::Error("shard worker exited".to_string());
-        };
-        let ShardReply::Predict(replies) = reply else {
-            return Response::Error("mismatched shard reply".to_string());
-        };
-        for (&i, r) in by_shard[shard as usize].iter().zip(replies) {
-            out[i] = Some(r);
-        }
-    }
-    match out.into_iter().collect::<Option<Vec<_>>>() {
-        Some(replies) => Response::Predict(replies),
-        None => Response::Error("incomplete scatter-gather".to_string()),
-    }
-}
-
-fn dispatch_train(items: Vec<TrainItem>, shared: &Shared) -> Response {
-    if items.len() > MAX_BATCH {
-        return Response::Error("batch exceeds MAX_BATCH".to_string());
-    }
-    let shards = shared.senders.len();
-    let by_shard = partition(&items, |it| it.pc, shards);
-    let (tx, rx) = channel();
-    let mut outstanding = 0u32;
-    for (shard, idxs) in by_shard.iter().enumerate() {
-        if idxs.is_empty() {
-            continue;
-        }
-        let sub: Vec<_> = idxs.iter().map(|&i| items[i]).collect();
-        let job = ShardJob::Train {
-            items: sub,
-            tag: shard as u32,
-            reply: tx.clone(),
-        };
-        if shared.senders[shard].try_send(job).is_err() {
-            shared.metrics[shard]
-                .rejected_full
-                .fetch_add(idxs.len() as u64, Ordering::Relaxed);
-            return Response::Busy;
-        }
-        outstanding += 1;
-    }
-    drop(tx);
-    let (mut applied, mut stale) = (0u32, 0u32);
-    for _ in 0..outstanding {
-        let Ok((_, reply)) = rx.recv() else {
-            return Response::Error("shard worker exited".to_string());
-        };
-        let ShardReply::Train { applied: a, stale: s } = reply else {
-            return Response::Error("mismatched shard reply".to_string());
-        };
-        applied += a;
-        stale += s;
-    }
-    Response::Train { applied, stale }
 }

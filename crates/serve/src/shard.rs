@@ -28,6 +28,7 @@ use mascot::prediction::{MemDepPredictor, MemDepPrediction, PredictReq, TrainReq
 use mascot_predictors::{AnyMeta, AnyPredictor, PredictorKind};
 
 use crate::metrics::ShardMetrics;
+use crate::poll::Waker;
 use crate::wire::{PredictItem, PredictReply, StatsReport, TrainItem};
 
 /// Default shard count.
@@ -77,6 +78,53 @@ pub enum SyncEvent {
     },
 }
 
+/// Where a shard worker posts a job's reply: an unbounded channel plus an
+/// optional [`Waker`] for a parked event loop.
+///
+/// Workers never block on delivery — the channel is unbounded and the
+/// eventfd write behind [`Waker::wake`] is non-blocking — which is what
+/// lets the event loop safely park in `epoll_wait` and issue blocking
+/// in-loop snapshot/restore fences without risking a worker/loop deadlock.
+#[derive(Clone)]
+pub struct ReplySink {
+    tx: Sender<(u64, ShardReply)>,
+    waker: Option<Arc<Waker>>,
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplySink")
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
+}
+
+impl ReplySink {
+    /// A sink that only delivers to `tx` (the receiver is being polled or
+    /// blocked on directly).
+    pub fn new(tx: Sender<(u64, ShardReply)>) -> Self {
+        Self { tx, waker: None }
+    }
+
+    /// A sink that additionally wakes `waker` after every delivery, for
+    /// receivers parked in [`crate::poll::Poller::wait`].
+    pub fn with_waker(tx: Sender<(u64, ShardReply)>, waker: Arc<Waker>) -> Self {
+        Self {
+            tx,
+            waker: Some(waker),
+        }
+    }
+
+    /// Delivers one reply. A gone receiver is fine — the work is already
+    /// done either way (e.g. the client disconnected mid-flight).
+    pub fn send(&self, tag: u64, reply: ShardReply) {
+        let _ = self.tx.send((tag, reply));
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+    }
+}
+
 /// A unit of work on a shard queue.
 pub enum ShardJob {
     /// Predict a sub-batch; the reply carries `tag` for reassembly.
@@ -84,27 +132,27 @@ pub enum ShardJob {
         /// The items, all owned by this shard.
         items: Vec<PredictItem>,
         /// Caller-chosen tag echoed in the reply.
-        tag: u32,
+        tag: u64,
         /// Where to deliver the reply.
-        reply: Sender<(u32, ShardReply)>,
+        reply: ReplySink,
     },
     /// Train from a sub-batch of outcomes.
     Train {
         /// The items, all owned by this shard.
         items: Vec<TrainItem>,
         /// Caller-chosen tag echoed in the reply.
-        tag: u32,
+        tag: u64,
         /// Where to deliver the reply.
-        reply: Sender<(u32, ShardReply)>,
+        reply: ReplySink,
     },
     /// Apply predictor-state events (no reply).
     Sync(Vec<SyncEvent>),
     /// Serialize this shard's predictor state.
     Snapshot {
         /// Caller-chosen tag echoed in the reply.
-        tag: u32,
+        tag: u64,
         /// Where to deliver the reply.
-        reply: Sender<(u32, ShardReply)>,
+        reply: ReplySink,
     },
     /// Swap in a fully-built replacement predictor (decoded and validated by
     /// the caller) and clear the pending table — parked tickets reference
@@ -113,9 +161,9 @@ pub enum ShardJob {
         /// The replacement predictor.
         predictor: Box<AnyPredictor>,
         /// Caller-chosen tag echoed in the reply.
-        tag: u32,
+        tag: u64,
         /// Where to deliver the reply.
-        reply: Sender<(u32, ShardReply)>,
+        reply: ReplySink,
     },
     /// Park the worker on a barrier (used by tests and by callers that need
     /// a completion fence: the worker has necessarily finished everything
@@ -337,8 +385,8 @@ impl ShardPool {
         let (tx, rx) = std::sync::mpsc::channel();
         for (shard, sender) in self.senders.iter().enumerate() {
             let _ = sender.send(ShardJob::Snapshot {
-                tag: shard as u32,
-                reply: tx.clone(),
+                tag: shard as u64,
+                reply: ReplySink::new(tx.clone()),
             });
         }
         drop(tx);
@@ -372,8 +420,8 @@ impl ShardPool {
         {
             let _ = sender.send(ShardJob::Restore {
                 predictor: Box::new(predictor),
-                tag: shard as u32,
-                reply: tx.clone(),
+                tag: shard as u64,
+                reply: ReplySink::new(tx.clone()),
             });
         }
         drop(tx);
@@ -482,9 +530,7 @@ fn process(
             }
             metrics.predicts.fetch_add(n, Ordering::Relaxed);
             metrics.requests.fetch_add(n, Ordering::Relaxed);
-            // The receiver may be gone (client disconnected mid-flight);
-            // the work is already done either way.
-            let _ = reply.send((tag, ShardReply::Predict(out)));
+            reply.send(tag, ShardReply::Predict(out));
         }
         ShardJob::Train { items, tag, reply } => {
             let n = items.len() as u64;
@@ -510,7 +556,7 @@ fn process(
                 .stale_trains
                 .fetch_add(u64::from(stale), Ordering::Relaxed);
             metrics.requests.fetch_add(n, Ordering::Relaxed);
-            let _ = reply.send((tag, ShardReply::Train { applied, stale }));
+            reply.send(tag, ShardReply::Train { applied, stale });
         }
         ShardJob::Sync(events) => {
             for event in events {
@@ -523,7 +569,7 @@ fn process(
             }
         }
         ShardJob::Snapshot { tag, reply } => {
-            let _ = reply.send((tag, ShardReply::Snapshot(predictor.snapshot_bytes())));
+            reply.send(tag, ShardReply::Snapshot(predictor.snapshot_bytes()));
         }
         ShardJob::Restore {
             predictor: replacement,
@@ -534,7 +580,7 @@ fn process(
             // Parked tickets reference metadata minted by the predictor just
             // replaced; training the restored one with it would be lying.
             *pending = PendingTable::new(pending.slots.len());
-            let _ = reply.send((tag, ShardReply::Restore(predictor.entry_count())));
+            reply.send(tag, ShardReply::Restore(predictor.entry_count()));
         }
         ShardJob::Wait(barrier) => {
             barrier.wait();
@@ -553,8 +599,8 @@ mod tests {
 
     fn predict_job(
         pcs: &[u64],
-        tag: u32,
-        reply: &Sender<(u32, ShardReply)>,
+        tag: u64,
+        reply: &Sender<(u64, ShardReply)>,
     ) -> ShardJob {
         ShardJob::Predict {
             items: pcs
@@ -562,7 +608,7 @@ mod tests {
                 .map(|&pc| PredictItem { pc, store_seq: 0 })
                 .collect(),
             tag,
-            reply: reply.clone(),
+            reply: ReplySink::new(reply.clone()),
         }
     }
 
@@ -601,7 +647,14 @@ mod tests {
                 outcome: mascot::prediction::LoadOutcome::independent(),
             })
             .collect();
-        pool.send(shard, ShardJob::Train { items: items.clone(), tag: 8, reply: tx.clone() });
+        pool.send(
+            shard,
+            ShardJob::Train {
+                items: items.clone(),
+                tag: 8,
+                reply: ReplySink::new(tx.clone()),
+            },
+        );
         match rx.recv().unwrap() {
             (8, ShardReply::Train { applied, stale }) => {
                 assert_eq!((applied, stale), (3, 0));
@@ -609,7 +662,14 @@ mod tests {
             other => panic!("unexpected reply {other:?}"),
         }
         // Replaying the same tickets is stale, not a retrain.
-        pool.send(shard, ShardJob::Train { items, tag: 9, reply: tx.clone() });
+        pool.send(
+            shard,
+            ShardJob::Train {
+                items,
+                tag: 9,
+                reply: ReplySink::new(tx.clone()),
+            },
+        );
         match rx.recv().unwrap() {
             (9, ShardReply::Train { applied, stale }) => {
                 assert_eq!((applied, stale), (0, 3));
@@ -643,7 +703,7 @@ mod tests {
                     outcome: mascot::prediction::LoadOutcome::independent(),
                 }],
                 tag: 1,
-                reply: tx,
+                reply: ReplySink::new(tx),
             },
         );
         match rx.recv().unwrap().1 {
@@ -807,7 +867,7 @@ mod tests {
                             ),
                         }],
                         tag: round,
-                        reply: tx.clone(),
+                        reply: ReplySink::new(tx.clone()),
                     },
                 );
                 rx.recv().unwrap();

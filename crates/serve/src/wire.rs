@@ -526,16 +526,18 @@ fn read_full<R: Read>(
     Ok(true)
 }
 
-/// Reads one frame. `None` means the peer closed (or `abort` fired) between
-/// frames — a clean end of stream.
-pub fn read_frame_abortable<R: Read>(
-    r: &mut R,
-    abort: &dyn Fn() -> bool,
-) -> Result<Option<(u8, Vec<u8>)>, WireError> {
-    let mut header = [0u8; HEADER_LEN];
-    if !read_full(r, &mut header, abort)? {
-        return Ok(None);
-    }
+/// Validates a frame header and returns its `(code, payload_len)`. The
+/// single source of truth for header checks — the blocking reader
+/// ([`read_frame_abortable`]) and the event loop's incremental parser
+/// ([`crate::conn::RecvBuf`]) both call it, so a malformed stream fails
+/// identically whichever front end reads it.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`], [`WireError::BadVersion`], or
+/// [`WireError::TooLarge`] when the claimed payload exceeds
+/// [`max_payload`] for the code byte.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
     if header[..4] != MAGIC {
         return Err(WireError::BadMagic);
     }
@@ -547,7 +549,21 @@ pub fn read_frame_abortable<R: Read>(
     if len as usize > max_payload(code) {
         return Err(WireError::TooLarge(len));
     }
-    let mut payload = vec![0u8; len as usize];
+    Ok((code, len as usize))
+}
+
+/// Reads one frame. `None` means the peer closed (or `abort` fired) between
+/// frames — a clean end of stream.
+pub fn read_frame_abortable<R: Read>(
+    r: &mut R,
+    abort: &dyn Fn() -> bool,
+) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header, abort)? {
+        return Ok(None);
+    }
+    let (code, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
     if !read_full(r, &mut payload, &|| false)? {
         return Err(WireError::Corrupt("connection closed mid-frame"));
     }
@@ -1107,6 +1123,33 @@ mod tests {
         assert!(get_prediction(1, 200).is_err()); // distance > 127
         assert!(get_prediction(0, 5).is_err()); // no-dependence with distance
         assert!(get_prediction(2, 127).is_ok());
+    }
+
+    /// `parse_header` is the shared validator for both front ends; check
+    /// it standalone (the blocking-reader tests above exercise it via
+    /// `read_frame`).
+    #[test]
+    fn parse_header_matches_reader_checks() {
+        let frame = Request::Snapshot.encode_frame().unwrap();
+        let header: [u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().unwrap();
+        assert_eq!(parse_header(&header).unwrap(), (Opcode::Snapshot as u8, 0));
+        let mut bad = header;
+        bad[0] = b'Z';
+        assert!(matches!(parse_header(&bad), Err(WireError::BadMagic)));
+        let mut bad = header;
+        bad[4] = 1;
+        assert!(matches!(parse_header(&bad), Err(WireError::BadVersion(1))));
+        // The per-code payload cap: a predict frame may not claim a
+        // snapshot-sized payload, but a restore frame may.
+        let mut big = header;
+        big[5] = Opcode::Predict as u8;
+        big[6..10].copy_from_slice(&((MAX_FRAME_PAYLOAD + 1) as u32).to_le_bytes());
+        assert!(matches!(parse_header(&big), Err(WireError::TooLarge(_))));
+        big[5] = Opcode::Restore as u8;
+        assert_eq!(
+            parse_header(&big).unwrap(),
+            (Opcode::Restore as u8, MAX_FRAME_PAYLOAD + 1)
+        );
     }
 
     #[test]

@@ -10,19 +10,34 @@
 # differential runs across every workload profile) flags a violation, if
 # simulator throughput regresses against the committed
 # BENCH_sim_throughput.json baseline (median of 3 passes; >10% aggregate
-# or >12% for any single predictor's suite-wide number), or if the
+# or >12% for any single predictor's suite-wide number), if the
 # mascot-serve loopback smoke (real mascotd process + mascot-loadgen over
-# TCP) loses requests, achieves zero QPS, or fails to drain on shutdown.
-# Regenerate the baselines with `cargo run --release -p mascot-bench --bin
-# throughput` and `cargo run --release -p mascot-serve --bin
-# mascot-loadgen` on intentional perf changes, and commit the new files
-# alongside them.
+# TCP) loses requests, achieves zero QPS, or fails to drain on shutdown,
+# or if the open-loop soak (1k concurrent connections against one mascotd)
+# loses a request or blows its p999 latency SLO. Regenerate the baselines
+# with `cargo run --release -p mascot-bench --bin throughput` and `cargo
+# run --release -p mascot-serve --bin mascot-loadgen` on intentional perf
+# changes, and commit the new files alongside them (BENCH_serve.json must
+# carry the SLO schema fields: connections / latency_p999_us /
+# slo_p999_us).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS---offline}
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+# Waits for a port file to appear (a daemon writes it once its listener is
+# registered with the event loop's poller). Generous: a cold mascotd may
+# replay a trace before opening for business, and the box may be loaded.
+wait_ready() {
+    for _ in $(seq 1 400); do
+        [ -s "$1" ] && return 0
+        sleep 0.05
+    done
+    echo "daemon behind $1 never became ready"
+    return 1
+}
 
 echo "== tier-1: release build (warnings are errors) =="
 # --workspace: the root is a real package, so a bare `cargo build` would
@@ -54,11 +69,7 @@ rm -f "${PORT_FILE}"  # mascotd recreates it once the listener is ready
     --replay mcf --audit --port-file "${PORT_FILE}" &
 MASCOTD_PID=$!
 trap 'kill ${MASCOTD_PID} 2>/dev/null || true; rm -f "${PORT_FILE}"' EXIT
-for _ in $(seq 1 100); do
-    [ -s "${PORT_FILE}" ] && break
-    sleep 0.05
-done
-[ -s "${PORT_FILE}" ] || { echo "mascotd never became ready"; exit 1; }
+wait_ready "${PORT_FILE}"
 ./target/release/mascot-loadgen --addr "$(cat "${PORT_FILE}")" --smoke
 # The smoke's Shutdown request must let the server drain and exit cleanly.
 wait "${MASCOTD_PID}"
@@ -66,15 +77,35 @@ trap - EXIT
 rm -f "${PORT_FILE}"
 echo "serve smoke ok (server drained and exited)"
 
-# Waits for a port file to appear (a daemon writes it once ready).
-wait_ready() {
-    for _ in $(seq 1 200); do
-        [ -s "$1" ] && return 0
-        sleep 0.05
-    done
-    echo "daemon behind $1 never became ready"
-    return 1
-}
+echo "== serve soak (open-loop SLO gate, 1k concurrent connections) =="
+# The loadgen opens 1024 multiplexed connections and offers a fixed
+# open-loop frame rate; it fails on any lost request, an unclean drain, or
+# a p999 latency (measured from the *scheduled* send time — no coordinated
+# omission) above the SLO.
+PORT_FILE=$(mktemp)
+rm -f "${PORT_FILE}"
+./target/release/mascotd --addr 127.0.0.1:0 --shards 2 \
+    --port-file "${PORT_FILE}" &
+MASCOTD_PID=$!
+trap 'kill ${MASCOTD_PID} 2>/dev/null || true; rm -f "${PORT_FILE}"' EXIT
+wait_ready "${PORT_FILE}"
+./target/release/mascot-loadgen --addr "$(cat "${PORT_FILE}")" \
+    --soak --threads 2 --batch 16 --slo-p999-us 250000
+# The soak's Shutdown must drain the server cleanly too.
+wait "${MASCOTD_PID}"
+trap - EXIT
+rm -f "${PORT_FILE}"
+echo "serve soak ok (SLO held at 1k connections)"
+
+echo "== BENCH_serve.json schema (SLO fields committed) =="
+for field in connections latency_p999_us slo_p999_us; do
+    grep -q "\"${field}\"" BENCH_serve.json || {
+        echo "BENCH_serve.json is missing \"${field}\": re-baseline with"
+        echo "  cargo run --release -p mascot-serve --bin mascot-loadgen"
+        exit 1
+    }
+done
+echo "BENCH_serve.json schema ok"
 
 echo "== snapshot smoke (checkpoint, warm restart, identical fingerprints) =="
 SNAP_DIR=$(mktemp -d)

@@ -234,6 +234,99 @@ fn wire_restore_fails_closed() {
     handle.join().expect("server thread");
 }
 
+/// The event-loop stressor: 256 concurrent connections, each delivering
+/// two pipelined predict frames split at a per-connection byte offset —
+/// collectively covering every header and body boundary of the two-frame
+/// stream, including mid-header and the frame seam — with a pause between
+/// the halves so the server must hold partial frames across readiness
+/// events. Every request is answered, in order, with exact server-side
+/// accounting: nothing lost, nothing rejected.
+#[test]
+fn concurrent_partial_writes_lose_nothing() {
+    const CONNS: usize = 256;
+    const BATCH: usize = 3;
+
+    // Deep queues: all 512 frames land in one burst once the second halves
+    // are written, and the exact accounting below requires zero Busy.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        kind: PredictorKind::Mascot,
+        pool: ShardPoolConfig {
+            shards: 2,
+            queue_depth: 4096,
+            ..ShardPoolConfig::default()
+        },
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let (addr, handle) = server.spawn();
+    let addr = addr.to_string();
+
+    // Each connection's byte stream: two predict frames, back to back.
+    let mut streams: Vec<(TcpStream, Vec<u8>, usize)> = (0..CONNS)
+        .map(|i| {
+            let frame_of = |k: usize| {
+                let items: Vec<PredictItem> = (0..BATCH)
+                    .map(|j| PredictItem {
+                        pc: 0x9000 + ((i * 7 + j) as u64 % 251) * 4,
+                        store_seq: (i * 2 + k) as u64,
+                    })
+                    .collect();
+                wire::Request::Predict(items)
+                    .encode_frame()
+                    .expect("encodable batch")
+            };
+            let mut bytes = frame_of(0);
+            bytes.extend_from_slice(&frame_of(1));
+            let split = (i % (bytes.len() - 1)) + 1;
+            let stream = TcpStream::connect(&addr).expect("connect");
+            (stream, bytes, split)
+        })
+        .collect();
+
+    // Phase 1: first halves only, across all connections.
+    for (stream, bytes, split) in &mut streams {
+        stream.write_all(&bytes[..*split]).expect("first half");
+        stream.flush().expect("flush");
+    }
+    // The event loop must park on the incomplete frames without
+    // responding, closing, or confusing them across connections.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    // Phase 2: the remainders.
+    for (stream, bytes, split) in &mut streams {
+        stream.write_all(&bytes[*split..]).expect("second half");
+        stream.flush().expect("flush");
+    }
+
+    // Exactly two in-order Predict responses per connection.
+    for (stream, _, _) in &mut streams {
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("set timeout");
+        for _ in 0..2 {
+            let (code, payload) = wire::read_frame(stream)
+                .expect("well-framed reply")
+                .expect("reply before close");
+            let resp = Response::decode(Opcode::Predict, code, &payload).expect("decode");
+            let Response::Predict(replies) = resp else {
+                panic!("expected predictions, got {resp:?}");
+            };
+            assert_eq!(replies.len(), BATCH);
+        }
+    }
+    drop(streams);
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    let stats = control.stats().expect("stats");
+    assert_eq!(
+        stats.total_predicts(),
+        (CONNS * 2 * BATCH) as u64,
+        "every item answered exactly once"
+    );
+    assert_eq!(stats.total_rejected(), 0, "deep queues must absorb the burst");
+    control.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
 /// A frame with the wrong magic gets an `Error` response and the
 /// connection is dropped; the server keeps serving other clients.
 #[test]
