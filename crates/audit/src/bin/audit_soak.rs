@@ -1,10 +1,11 @@
 //! `audit-soak`: seeded randomized soak of the audited simulator.
 //!
-//! Generates every workload profile (or a filtered subset), runs each trace
-//! through the cycle-audited engine under several predictor kinds, checks
-//! run-to-run determinism and MDP-only/MASCOT agreement, and — on any
-//! failure — shrinks the trace to a minimal repro, writes it as an `.mtrc`
-//! artifact and prints the one-line command that replays it.
+//! Generates every workload profile (or a filtered subset) plus the three
+//! adversarial mistraining compositions, runs each trace through the
+//! cycle-audited engine under several predictor kinds, checks run-to-run
+//! determinism and MDP-only/MASCOT agreement, and — on any failure —
+//! shrinks the trace to a minimal repro, writes it as an `.mtrc` artifact
+//! and prints the one-line command that replays it.
 //!
 //!     audit-soak [--seed N] [--uops N] [--profiles a,b,...] [--kinds a,b]
 //!                [--inject FAULT] [--out-dir DIR] [--no-diff]
@@ -49,6 +50,7 @@ impl Default for Args {
                 PredictorKind::Mascot,
                 PredictorKind::NoSq,
                 PredictorKind::StoreSets,
+                PredictorKind::RandomizedMascot,
             ],
             inject: None,
             out_dir: PathBuf::from("target/audit-repros"),
@@ -311,6 +313,17 @@ fn main() -> ExitCode {
     for profile in &selected {
         let trace = generate(profile, args.seed, args.uops);
         failures.extend(soak_trace(&trace, &cfg, &args, &profile.name));
+    }
+
+    // Adversarial mistraining traffic (DESIGN.md §12): the same invariant
+    // sweep must hold while an attacker tenant deliberately aliases the
+    // victim's predictor contexts. Skipped when `--profiles` narrows the
+    // run to specific benign profiles.
+    if args.profiles.is_none() {
+        for attack in mascot_workloads::AttackKind::ALL {
+            let trace = mascot_workloads::compose(attack, args.seed, args.uops);
+            failures.extend(soak_trace(&trace, &cfg, &args, attack.name()));
+        }
     }
 
     if failures.is_empty() {

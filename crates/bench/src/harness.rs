@@ -124,6 +124,36 @@ pub fn run_with_predictor(
     }
 }
 
+/// Runs a caller-supplied trace (adversarial composers and other traces
+/// that do not come from a [`WorkloadProfile`]) with a fresh predictor.
+/// `tenant_split` enables per-tenant misprediction attribution at the
+/// given PC boundary (see `mascot_sim::Simulator::with_tenant_split`).
+pub fn run_trace(
+    trace: &Trace,
+    kind: PredictorKind,
+    core: &CoreConfig,
+    tenant_split: Option<u64>,
+) -> RunResult {
+    let mut predictor = kind.build();
+    let t0 = Instant::now();
+    let sim = mascot_sim::Simulator::new(trace, core, &mut predictor);
+    let sim = match tenant_split {
+        Some(boundary) => sim.with_tenant_split(boundary),
+        None => sim,
+    };
+    let stats = sim.run();
+    let (wall_ms, uops_per_sec) = throughput_of(&stats, t0.elapsed());
+    RunResult {
+        benchmark: trace.name.clone(),
+        predictor: kind.label().into_owned(),
+        core: core.name.clone(),
+        stats,
+        storage_kib: predictor.storage_kib(),
+        wall_ms,
+        uops_per_sec,
+    }
+}
+
 /// Runs one (benchmark, predictor, core) combination.
 pub fn run_one(
     profile: &WorkloadProfile,

@@ -17,7 +17,7 @@ pub mod table;
 
 pub use harness::{
     benchmarks, cached_trace, find, geomean_normalized_ipc, normalized_ipc, run_one, run_suite,
-    run_with_predictor, trace_uops_from_env, PredictorKind, RunResult, DEFAULT_SEED,
+    run_trace, run_with_predictor, trace_uops_from_env, PredictorKind, RunResult, DEFAULT_SEED,
     DEFAULT_TRACE_UOPS,
 };
 pub use table::TextTable;

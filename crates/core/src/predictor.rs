@@ -433,8 +433,13 @@ impl Mascot {
     ///
     /// For every valid entry of `other`, the entry is unioned into the same
     /// (table, set) of `self`; on a tag collision or a full set the entry
-    /// with the higher usefulness (MDP confidence) wins, ties keeping the
-    /// incumbent. Aggregate stats are summed; the global history keeps
+    /// with the higher usefulness (MDP confidence) wins. A tie keeps the
+    /// incumbent but *decays* it one usefulness step: a pure
+    /// ties-keep-the-incumbent rule let a flooding tenant's equal-usefulness
+    /// entries survive every resharding union merge indefinitely (they were
+    /// never preferred *over*, so they were never aged *out*); with the
+    /// decay tiebreak a tied entry loses ground each round and becomes
+    /// evictable. Aggregate stats are summed; the global history keeps
     /// `self`'s copy (shards see an identical broadcast branch stream, so
     /// the histories agree whenever the shards come from one serve run).
     ///
@@ -453,8 +458,13 @@ impl Mascot {
         }
         let mut written = 0;
         for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
-            written += mine.merge_from_with(theirs, |incoming, incumbent| {
-                incoming.usefulness().value() > incumbent.usefulness().value()
+            written += mine.merge_from_resolve(theirs, |incoming, incumbent| {
+                let inc = incoming.usefulness().value();
+                let cur = incumbent.usefulness().value();
+                if inc == cur {
+                    incumbent.decay();
+                }
+                inc > cur
             })?;
         }
         for (mine, theirs) in self
@@ -1175,6 +1185,65 @@ mod tests {
         // Mismatched configurations are rejected.
         let other = Mascot::new(MascotConfig::default()).unwrap();
         assert!(a.merge_from(&other).is_err());
+    }
+
+    /// Regression: a flooding tenant's equal-usefulness entries must not
+    /// survive resharding union merges indefinitely. Under the old
+    /// ties-keep-the-incumbent rule, an entry whose usefulness exactly
+    /// matched every incoming rival was never replaced *and* never aged, so
+    /// repeated merges pinned it forever; the decay tiebreak makes each tied
+    /// round cost one usefulness step until the entry is evictable.
+    #[test]
+    fn merge_ties_decay_instead_of_pinning() {
+        // Train the same PC in two predictors with *different* distances:
+        // the entries collide at the same (table, set, tag) with equal
+        // usefulness, so under the old rule the incumbent's stale distance
+        // won every merge forever.
+        let train_once = |p: &mut Mascot, d: u32| {
+            let out = LoadOutcome::dependent(dep(d, BypassClass::MdpOnly));
+            let (pr, meta) = p.predict(PC, 0, None);
+            p.train(PC, meta, pr, &out);
+        };
+        let mut incumbent = predictor();
+        train_once(&mut incumbent, 2);
+        let mut rival = predictor();
+        train_once(&mut rival, 5);
+        let useful_of = |p: &mut Mascot| {
+            let (_, meta) = p.predict(PC, 0, None);
+            let t = meta.provider().expect("trained entry provides");
+            let lk = meta.lookup(t);
+            p.tables[t]
+                .find(u64::from(lk.index), u64::from(lk.tag))
+                .expect("entry resides where predicted")
+                .1
+                .usefulness()
+                .value()
+        };
+        let tied = useful_of(&mut incumbent);
+        assert_eq!(tied, useful_of(&mut rival), "setup: a genuine tie");
+        // Round 1: the tie keeps the incumbent but decays it one step —
+        // under the old rule this round left it untouched at `tied`.
+        let written = incumbent.merge_from(&rival).unwrap();
+        assert_eq!(written, 0);
+        assert_eq!(useful_of(&mut incumbent), tied - 1, "tie must cost a decay step");
+        assert!(
+            matches!(
+                incumbent.predict(PC, 0, None).0,
+                MemDepPrediction::Dependence { distance } if distance.get() == 2
+            ),
+            "incumbent survives the first tied round"
+        );
+        // Round 2: the decayed incumbent now loses outright, so the rival's
+        // entry replaces it instead of being pinned out forever.
+        let written = incumbent.merge_from(&rival).unwrap();
+        assert!(written >= 1, "a repeatedly tied incumbent must lose its slot");
+        assert!(
+            matches!(
+                incumbent.predict(PC, 0, None).0,
+                MemDepPrediction::Dependence { distance } if distance.get() == 5
+            ),
+            "the rival's entry takes over after the decayed tie"
+        );
     }
 
     /// Periodic decay leaves the headline behaviour intact (the paper

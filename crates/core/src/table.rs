@@ -319,6 +319,24 @@ impl<P: Clone> AssocTable<P> {
     where
         F: Fn(&P, &P) -> bool,
     {
+        self.merge_from_resolve(other, |incoming, incumbent| prefer_new(incoming, incumbent))
+    }
+
+    /// [`Self::merge_from_with`] with a *mutating* conflict resolver: on a
+    /// tag collision (or a full set), `resolve(incoming, incumbent)` decides
+    /// whether the incoming entry replaces the incumbent, and may mutate the
+    /// losing incumbent in place (e.g. decay its usefulness so a tie does
+    /// not pin it forever — see DESIGN.md §12 on flooding attacks against
+    /// ties-keep-the-incumbent merges).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shapes differ — merging across geometries would
+    /// scramble the index space.
+    pub fn merge_from_resolve<F>(&mut self, other: &Self, mut resolve: F) -> Result<u64, SnapError>
+    where
+        F: FnMut(&P, &mut P) -> bool,
+    {
         if self.sets != other.sets || self.assoc != other.assoc {
             return Err(SnapError::Corrupt("cannot merge tables of different shapes"));
         }
@@ -332,16 +350,26 @@ impl<P: Clone> AssocTable<P> {
             let incoming = &other.data[slot];
             match self.find_mut(index, tag) {
                 Some((_, incumbent)) => {
-                    if prefer_new(incoming, incumbent) {
+                    if resolve(incoming, incumbent) {
                         *incumbent = incoming.clone();
                         written += 1;
                     }
                 }
                 None => {
-                    if self
-                        .try_insert(index, tag, incoming.clone(), |p| prefer_new(incoming, p))
-                        .is_some()
-                    {
+                    // Probe the set's ways in order, mirroring try_insert's
+                    // preference for an empty way; a full set takes the
+                    // first way the resolver surrenders.
+                    let base = self.set_base(index);
+                    let mut victim = self.tags[base..base + self.assoc]
+                        .iter()
+                        .position(|&t| t == INVALID_TAG);
+                    if victim.is_none() {
+                        victim = (0..self.assoc)
+                            .find(|&way| resolve(incoming, &mut self.data[base + way]));
+                    }
+                    if let Some(way) = victim {
+                        self.tags[base + way] = tag;
+                        self.data[base + way] = incoming.clone();
                         written += 1;
                     }
                 }
@@ -538,6 +566,44 @@ mod tests {
             Ok(e(v))
         })
         .is_err());
+    }
+
+    #[test]
+    fn merge_resolve_can_mutate_losing_incumbents() {
+        let mut a = table(4, 2);
+        let mut b = table(4, 2);
+        a.insert_at(0, 0, 0x1, e(10));
+        b.insert_at(0, 1, 0x1, e(10)); // tie on value: incumbent keeps the slot
+        let written = a
+            .merge_from_resolve(&b, |new, old| {
+                if new.v > old.v {
+                    true
+                } else {
+                    old.v -= 1; // losing incumbent pays a decay tick
+                    false
+                }
+            })
+            .unwrap();
+        assert_eq!(written, 0);
+        assert_eq!(a.find(0, 0x1).unwrap().1.v, 9, "tie decays the incumbent");
+        // A full set consults the resolver per way and may mutate refusals.
+        let mut c = table(1, 2);
+        c.insert_at(0, 0, 0x2, e(5));
+        c.insert_at(0, 1, 0x3, e(5));
+        let mut d = table(1, 2);
+        d.insert_at(0, 0, 0x4, e(5));
+        c.merge_from_resolve(&d, |new, old| {
+            if new.v > old.v {
+                true
+            } else {
+                old.v -= 1;
+                false
+            }
+        })
+        .unwrap();
+        assert_eq!(c.find(0, 0x2).unwrap().1.v, 4);
+        assert_eq!(c.find(0, 0x3).unwrap().1.v, 4);
+        assert!(c.find(0, 0x4).is_none(), "tied incoming entry is dropped");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::mdp_tage::{MdpTage, MdpTageMeta};
 use crate::nosq::{NoSq, NoSqMeta};
 use crate::oracle::{PerfectMdp, PerfectMdpSmb};
 use crate::phast::{Phast, PhastMeta};
+use crate::randomized::RandomizedMascot;
 use crate::store_sets::StoreSets;
 
 /// Metadata variants for [`AnyPredictor`].
@@ -56,6 +57,8 @@ pub enum AnyPredictor {
     PerfectMdp(PerfectMdp),
     /// Perfect memory-dependence + bypassing oracle.
     PerfectMdpSmb(PerfectMdpSmb),
+    /// MASCOT behind keyed index randomization (DESIGN.md §12).
+    RandomizedMascot(RandomizedMascot),
 }
 
 // Sharded serving moves whole predictor instances onto worker threads;
@@ -77,6 +80,7 @@ mod variant {
     pub const STORE_SETS: u8 = 5;
     pub const PERFECT_MDP: u8 = 6;
     pub const PERFECT_MDP_SMB: u8 = 7;
+    pub const RANDOMIZED_MASCOT: u8 = 8;
 }
 
 impl AnyPredictor {
@@ -100,6 +104,7 @@ impl AnyPredictor {
             AnyPredictor::NoSq(p) => p.entry_count(),
             AnyPredictor::MdpTage(p) => p.entry_count(),
             AnyPredictor::StoreSets(p) => p.entry_count(),
+            AnyPredictor::RandomizedMascot(p) => p.entry_count(),
             AnyPredictor::PerfectMdp(_) | AnyPredictor::PerfectMdpSmb(_) => 0,
         }
     }
@@ -136,6 +141,10 @@ impl AnyPredictor {
             }
             AnyPredictor::PerfectMdp(_) => w.u8(variant::PERFECT_MDP),
             AnyPredictor::PerfectMdpSmb(_) => w.u8(variant::PERFECT_MDP_SMB),
+            AnyPredictor::RandomizedMascot(p) => {
+                w.u8(variant::RANDOMIZED_MASCOT);
+                p.snap_encode(&mut w);
+            }
         }
         w.into_bytes()
     }
@@ -160,6 +169,9 @@ impl AnyPredictor {
             variant::STORE_SETS => AnyPredictor::StoreSets(StoreSets::snap_decode(&mut r)?),
             variant::PERFECT_MDP => AnyPredictor::PerfectMdp(PerfectMdp::new()),
             variant::PERFECT_MDP_SMB => AnyPredictor::PerfectMdpSmb(PerfectMdpSmb::new()),
+            variant::RANDOMIZED_MASCOT => {
+                AnyPredictor::RandomizedMascot(RandomizedMascot::snap_decode(&mut r)?)
+            }
             _ => return Err(SnapError::Corrupt("unknown predictor variant tag")),
         };
         r.finish()?;
@@ -181,6 +193,9 @@ impl AnyPredictor {
             (AnyPredictor::NoSq(a), AnyPredictor::NoSq(b)) => a.merge_from(b),
             (AnyPredictor::MdpTage(a), AnyPredictor::MdpTage(b)) => a.merge_from(b),
             (AnyPredictor::StoreSets(a), AnyPredictor::StoreSets(b)) => a.merge_from(b),
+            (AnyPredictor::RandomizedMascot(a), AnyPredictor::RandomizedMascot(b)) => {
+                a.merge_from(b)
+            }
             (AnyPredictor::PerfectMdp(_), AnyPredictor::PerfectMdp(_))
             | (AnyPredictor::PerfectMdpSmb(_), AnyPredictor::PerfectMdpSmb(_)) => Ok(0),
             _ => Err(SnapError::Corrupt(
@@ -203,6 +218,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.name(),
             AnyPredictor::PerfectMdp(p) => p.name(),
             AnyPredictor::PerfectMdpSmb(p) => p.name(),
+            AnyPredictor::RandomizedMascot(p) => p.name(),
         }
     }
 
@@ -244,6 +260,10 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::PerfectMdpSmb(p) => {
                 let (pred, ()) = p.predict(pc, store_seq, oracle);
                 (pred, AnyMeta::Unit)
+            }
+            AnyPredictor::RandomizedMascot(p) => {
+                let (pred, m) = p.predict(pc, store_seq, oracle);
+                (pred, AnyMeta::Mascot(m))
             }
         }
     }
@@ -301,6 +321,9 @@ impl MemDepPredictor for AnyPredictor {
                     let (pred, ()) = p.predict(r.pc, r.store_seq, r.oracle.as_ref());
                     out.push((pred, AnyMeta::Unit));
                 }
+            }
+            AnyPredictor::RandomizedMascot(p) => {
+                p.predict_batch_into(reqs, |pred, m| out.push((pred, AnyMeta::Mascot(m))));
             }
         }
     }
@@ -369,6 +392,15 @@ impl MemDepPredictor for AnyPredictor {
                     p.train(r.pc, (), r.predicted, &r.outcome);
                 }
             }
+            AnyPredictor::RandomizedMascot(p) => {
+                for r in reqs.drain(..) {
+                    if let AnyMeta::Mascot(m) = r.meta {
+                        p.train(r.pc, m, r.predicted, &r.outcome);
+                    } else {
+                        debug_assert!(false, "meta kind mismatch for randomized-mascot");
+                    }
+                }
+            }
         }
     }
 
@@ -388,6 +420,9 @@ impl MemDepPredictor for AnyPredictor {
             (AnyPredictor::StoreSets(p), AnyMeta::Unit) => p.train(pc, (), predicted, outcome),
             (AnyPredictor::PerfectMdp(p), AnyMeta::Unit) => p.train(pc, (), predicted, outcome),
             (AnyPredictor::PerfectMdpSmb(p), AnyMeta::Unit) => p.train(pc, (), predicted, outcome),
+            (AnyPredictor::RandomizedMascot(p), AnyMeta::Mascot(m)) => {
+                p.train(pc, m, predicted, outcome)
+            }
             (this, meta) => {
                 debug_assert!(
                     false,
@@ -408,6 +443,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.on_branch(event),
             AnyPredictor::PerfectMdp(p) => p.on_branch(event),
             AnyPredictor::PerfectMdpSmb(p) => p.on_branch(event),
+            AnyPredictor::RandomizedMascot(p) => p.on_branch(event),
         }
     }
 
@@ -421,6 +457,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.rewind_history(recent),
             AnyPredictor::PerfectMdp(p) => p.rewind_history(recent),
             AnyPredictor::PerfectMdpSmb(p) => p.rewind_history(recent),
+            AnyPredictor::RandomizedMascot(p) => p.rewind_history(recent),
         }
     }
 
@@ -434,6 +471,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.predict_store_wait(pc, store_seq),
             AnyPredictor::PerfectMdp(p) => p.predict_store_wait(pc, store_seq),
             AnyPredictor::PerfectMdpSmb(p) => p.predict_store_wait(pc, store_seq),
+            AnyPredictor::RandomizedMascot(p) => p.predict_store_wait(pc, store_seq),
         }
     }
 
@@ -447,6 +485,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.on_store_dispatch(pc, store_seq),
             AnyPredictor::PerfectMdp(p) => p.on_store_dispatch(pc, store_seq),
             AnyPredictor::PerfectMdpSmb(p) => p.on_store_dispatch(pc, store_seq),
+            AnyPredictor::RandomizedMascot(p) => p.on_store_dispatch(pc, store_seq),
         }
     }
 
@@ -460,6 +499,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.bypass_supports_offset(),
             AnyPredictor::PerfectMdp(p) => p.bypass_supports_offset(),
             AnyPredictor::PerfectMdpSmb(p) => p.bypass_supports_offset(),
+            AnyPredictor::RandomizedMascot(p) => p.bypass_supports_offset(),
         }
     }
 
@@ -473,6 +513,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.storage_bits(),
             AnyPredictor::PerfectMdp(p) => p.storage_bits(),
             AnyPredictor::PerfectMdpSmb(p) => p.storage_bits(),
+            AnyPredictor::RandomizedMascot(p) => p.storage_bits(),
         }
     }
 
@@ -486,6 +527,7 @@ impl MemDepPredictor for AnyPredictor {
             AnyPredictor::StoreSets(p) => p.end_tuning_period(),
             AnyPredictor::PerfectMdp(p) => p.end_tuning_period(),
             AnyPredictor::PerfectMdpSmb(p) => p.end_tuning_period(),
+            AnyPredictor::RandomizedMascot(p) => p.end_tuning_period(),
         }
     }
 }

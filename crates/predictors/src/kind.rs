@@ -20,6 +20,7 @@ use crate::mdp_tage::MdpTage;
 use crate::nosq::NoSq;
 use crate::oracle::{PerfectMdp, PerfectMdpSmb};
 use crate::phast::Phast;
+use crate::randomized::RandomizedMascot;
 use crate::store_sets::StoreSets;
 
 /// Every predictor configuration evaluated across the paper's figures.
@@ -46,12 +47,17 @@ pub enum PredictorKind {
     PerfectMdp,
     /// Perfect MDP + SMB oracle.
     PerfectMdpSmb,
+    /// MASCOT behind keyed index randomization + noisy bypass confidence —
+    /// the SPOILER-GUARD-style mistraining defense (DESIGN.md §12). Built
+    /// with the deployment-default key; per-boot keys go through
+    /// [`RandomizedMascot::with_key`].
+    RandomizedMascot,
 }
 
 impl PredictorKind {
     /// The fixed (non-parameterised) kinds, in canonical order — used for
     /// `--help` text and exhaustive sweeps.
-    pub const ALL: [PredictorKind; 10] = [
+    pub const ALL: [PredictorKind; 11] = [
         PredictorKind::Mascot,
         PredictorKind::MascotMdp,
         PredictorKind::MascotOpt(0),
@@ -62,6 +68,7 @@ impl PredictorKind {
         PredictorKind::StoreSets,
         PredictorKind::PerfectMdp,
         PredictorKind::PerfectMdpSmb,
+        PredictorKind::RandomizedMascot,
     ];
 
     /// Builds a fresh predictor instance.
@@ -96,6 +103,9 @@ impl PredictorKind {
             PredictorKind::StoreSets => AnyPredictor::StoreSets(StoreSets::default()),
             PredictorKind::PerfectMdp => AnyPredictor::PerfectMdp(PerfectMdp::new()),
             PredictorKind::PerfectMdpSmb => AnyPredictor::PerfectMdpSmb(PerfectMdpSmb::new()),
+            PredictorKind::RandomizedMascot => AnyPredictor::RandomizedMascot(
+                RandomizedMascot::new(MascotConfig::default()).expect("valid preset"),
+            ),
         }
     }
 
@@ -114,6 +124,7 @@ impl PredictorKind {
             PredictorKind::StoreSets => Cow::Borrowed("store-sets"),
             PredictorKind::PerfectMdp => Cow::Borrowed("perfect-mdp"),
             PredictorKind::PerfectMdpSmb => Cow::Borrowed("perfect-mdp-smb"),
+            PredictorKind::RandomizedMascot => Cow::Borrowed("randomized-mascot"),
         }
     }
 }

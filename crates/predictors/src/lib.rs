@@ -9,6 +9,9 @@
 //!   (§II), with its 3-bit distance and single usefulness bit.
 //! * [`PerfectMdp`] / [`PerfectMdpSmb`] — trace-oracle baselines used for
 //!   normalisation.
+//! * [`RandomizedMascot`] — MASCOT behind keyed index randomization and
+//!   noisy bypass confidence, the SPOILER-GUARD-style mistraining defense
+//!   (DESIGN.md §12).
 //! * [`AnyPredictor`] — enum dispatch over every predictor kind for the
 //!   benchmark harness.
 //!
@@ -28,10 +31,12 @@ pub mod mdp_tage;
 pub mod nosq;
 pub mod oracle;
 pub mod phast;
+pub mod randomized;
 pub mod store_sets;
 
 pub use any::{AnyMeta, AnyPredictor};
 pub use kind::{ParseKindError, PredictorKind};
+pub use randomized::RandomizedMascot;
 pub use mdp_tage::{MdpTage, MdpTageConfig, MdpTageMeta};
 pub use nosq::{NoSq, NoSqConfig, NoSqMeta};
 pub use oracle::{PerfectMdp, PerfectMdpSmb};

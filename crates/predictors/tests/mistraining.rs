@@ -1,0 +1,77 @@
+//! Predictor-level mistraining properties (DESIGN.md §12): the baseline
+//! MASCOT hasher is fully aliasable across the tenant boundary, and the
+//! randomized defense breaks exactly that aliasing.
+
+use mascot::config::MascotConfig;
+use mascot::prediction::{
+    BypassClass, LoadOutcome, MemDepPrediction, MemDepPredictor, ObservedDependence, StoreDistance,
+};
+use mascot::predictor::Mascot;
+use mascot_predictors::RandomizedMascot;
+
+const VICTIM_PC: u64 = 0x40_0060;
+const ATTACKER_PC: u64 = VICTIM_PC ^ (1 << 34);
+
+fn dependent_outcome() -> LoadOutcome {
+    LoadOutcome::dependent(ObservedDependence {
+        distance: StoreDistance::new(1).unwrap(),
+        class: BypassClass::DirectBypass,
+        store_pc: ATTACKER_PC - 0x4c,
+        branches_between: 0,
+    })
+}
+
+/// Drives `rounds` of the attacker's training loop against `p`.
+fn mistrain<P: MemDepPredictor>(p: &mut P, rounds: u64) {
+    for seq in 0..rounds {
+        let (pred, meta) = p.predict(ATTACKER_PC, seq, None);
+        p.train(ATTACKER_PC, meta, pred, &dependent_outcome());
+    }
+}
+
+#[test]
+fn baseline_mascot_is_cross_tenant_aliasable() {
+    // Training only ever at the attacker's PC must carry over to the
+    // victim's PC under the baseline hasher: bit 34 never reaches the
+    // index or tag masks, so the two PCs share every entry.
+    let mut p = Mascot::new(MascotConfig::default()).unwrap();
+    mistrain(&mut p, 200);
+    let (pred, _) = p.predict(VICTIM_PC, 10_000, None);
+    assert!(
+        matches!(
+            pred,
+            MemDepPrediction::Bypass { .. } | MemDepPrediction::Dependence { .. }
+        ),
+        "victim PC must inherit the attacker's training, got {pred:?}"
+    );
+}
+
+#[test]
+fn randomized_mascot_does_not_alias_across_the_boundary() {
+    // The keyed nonlinear scramble must separate the two PCs: the same
+    // mistraining leaves the victim's prediction at the default.
+    let mut p = RandomizedMascot::new(MascotConfig::default()).unwrap();
+    mistrain(&mut p, 200);
+    let (pred, _) = p.predict(VICTIM_PC, 10_000, None);
+    assert_eq!(
+        pred,
+        MemDepPrediction::NoDependence,
+        "scrambled victim PC must not inherit the attacker's training"
+    );
+}
+
+#[test]
+fn randomized_mascot_still_learns_the_attacked_pattern_locally() {
+    // The defense must not break first-party learning: the attacker's own
+    // PC (any PC) still trains to a dependence prediction.
+    let mut p = RandomizedMascot::new(MascotConfig::default()).unwrap();
+    mistrain(&mut p, 200);
+    let (pred, _) = p.predict(ATTACKER_PC, 10_000, None);
+    assert!(
+        matches!(
+            pred,
+            MemDepPrediction::Bypass { .. } | MemDepPrediction::Dependence { .. }
+        ),
+        "first-party training must survive the scramble, got {pred:?}"
+    );
+}

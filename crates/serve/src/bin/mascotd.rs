@@ -18,6 +18,11 @@
 //! independent re-derivation (`mascot_audit::renormalize`), and after the
 //! replay every load must be accounted for (`applied + stale == loads`).
 //! Any mismatch is fatal before the server accepts a single connection.
+//! Audit mode also runs the shard pool with `strict_tickets`: a
+//! pending-table eviction (an in-flight prediction recycled before its
+//! train arrived) is a shard-fatal error instead of an `evicted_pending`
+//! statistic, so an audited run cannot silently train on a diverged
+//! stream (DESIGN.md §12).
 //!
 //! `--port-file` writes the bound address (one line) once the listener is
 //! registered with the event loop's poller — i.e. once the server is
@@ -64,7 +69,8 @@ fn usage() -> &'static str {
     \x20              [--replay TRACE.mtrc|WORKLOAD] [--audit] [--port-file PATH]\n\
     \x20              [--snapshot-dir DIR]\n\
     KIND is a predictor label (default: mascot); see `mascot-loadgen --help`.\n\
-    --audit validates the replay trace and its accounting (requires --replay).\n\
+    --audit validates the replay trace and its accounting (requires --replay)\n\
+    \x20       and makes pending-ticket evictions a hard error (strict_tickets).\n\
     --snapshot-dir restores DIR/mascot.snap on boot (when present) and\n\
     checkpoints the final predictor state there on graceful shutdown."
 }
@@ -114,6 +120,10 @@ fn parse_args() -> Result<Args, String> {
     if args.audit && args.replay.is_none() {
         return Err("--audit requires --replay".to_string());
     }
+    // Audit runs refuse to silently drop in-flight predictions: a
+    // pending-table eviction becomes a shard-fatal error instead of a
+    // stale-train statistic.
+    args.cfg.pool.strict_tickets = args.audit;
     Ok(args)
 }
 

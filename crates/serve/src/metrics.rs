@@ -148,6 +148,20 @@ pub struct ShardMetrics {
     pub trains: AtomicU64,
     /// Train items dropped on a stale/mismatched ticket.
     pub stale_trains: AtomicU64,
+    /// Pending predictions recycled before their train arrived (the
+    /// in-flight window outran `pending_capacity`); fatal under
+    /// `strict_tickets`.
+    pub evicted_pending: AtomicU64,
+    /// Applied trains whose prediction was `NoDependence` on a dependent
+    /// outcome.
+    pub missed_dependencies: AtomicU64,
+    /// Applied trains whose prediction was `Dependence` on an independent
+    /// outcome.
+    pub false_dependencies: AtomicU64,
+    /// Applied trains whose prediction was `Bypass` on an independent
+    /// outcome — the squash-causing shape a mistraining attacker induces
+    /// (DESIGN.md §12).
+    pub false_bypasses: AtomicU64,
     /// Queue pops that did work.
     pub batches: AtomicU64,
     /// Items rejected with `Busy` because this shard's queue was full.
@@ -177,6 +191,10 @@ impl ShardMetrics {
             predicts: self.predicts.load(Ordering::Relaxed),
             trains: self.trains.load(Ordering::Relaxed),
             stale_trains: self.stale_trains.load(Ordering::Relaxed),
+            evicted_pending: self.evicted_pending.load(Ordering::Relaxed),
+            missed_dependencies: self.missed_dependencies.load(Ordering::Relaxed),
+            false_dependencies: self.false_dependencies.load(Ordering::Relaxed),
+            false_bypasses: self.false_bypasses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             service_samples: service.total(),

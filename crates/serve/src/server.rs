@@ -842,8 +842,9 @@ pub fn predictors_from_snapshot(
     if decoded.len() == target {
         return Ok(decoded);
     }
-    // Merge in shard order: conflict resolution keeps the incumbent on
-    // ties, so the order is observable and must be deterministic.
+    // Merge in shard order: conflict resolution decays the incumbent on
+    // usefulness ties (an anti-mistraining measure — see DESIGN.md §12),
+    // so the order is observable and must be deterministic.
     let mut rest = decoded.into_iter();
     let mut union = rest.next().expect("non-empty checked above");
     for (i, other) in rest.enumerate() {

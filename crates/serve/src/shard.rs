@@ -51,6 +51,15 @@ pub struct ShardPoolConfig {
     pub max_batch: usize,
     /// Pending-prediction slots per shard (rounded up to a power of two).
     pub pending_capacity: usize,
+    /// Treat a pending-table eviction as fatal instead of a silent drop.
+    ///
+    /// A `predict` whose slot is recycled before its `train` arrives is
+    /// normally just counted (`evicted_pending`) and the late train goes
+    /// stale — acceptable under overload, but in an audit run it means the
+    /// deployment's in-flight window exceeds `pending_capacity` and
+    /// training silently diverges from the measured workload. `mascotd
+    /// --audit` runs with this set.
+    pub strict_tickets: bool,
 }
 
 impl Default for ShardPoolConfig {
@@ -60,6 +69,7 @@ impl Default for ShardPoolConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             max_batch: DEFAULT_MAX_BATCH,
             pending_capacity: DEFAULT_PENDING_CAPACITY,
+            strict_tickets: false,
         }
     }
 }
@@ -250,21 +260,26 @@ impl PendingTable {
         }
     }
 
+    /// Parks a prediction and returns `(ticket, evicted)`: `evicted` is
+    /// true when the slot still held an untrained prediction (the window
+    /// outran the table and that older ticket is now silently stale).
     fn insert(
         &mut self,
         pc: u64,
         prediction: mascot::prediction::MemDepPrediction,
         meta: AnyMeta,
-    ) -> u32 {
+    ) -> (u32, bool) {
         let ticket = self.next_ticket;
         self.next_ticket = self.next_ticket.wrapping_add(1);
-        self.slots[(ticket & self.mask) as usize] = Some(Pending {
+        let slot = &mut self.slots[(ticket & self.mask) as usize];
+        let evicted = slot.is_some();
+        *slot = Some(Pending {
             ticket,
             pc,
             prediction,
             meta,
         });
-        ticket
+        (ticket, evicted)
     }
 
     fn take(&mut self, ticket: u32, pc: u64) -> Option<Pending> {
@@ -308,10 +323,20 @@ impl ShardPool {
             let worker_metrics = Arc::clone(&m);
             let max_batch = cfg.max_batch.max(1);
             let pending_capacity = cfg.pending_capacity;
+            let strict_tickets = cfg.strict_tickets;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mascot-shard-{shard}"))
-                    .spawn(move || worker(rx, predictor, worker_metrics, max_batch, pending_capacity))
+                    .spawn(move || {
+                        worker(
+                            rx,
+                            predictor,
+                            worker_metrics,
+                            max_batch,
+                            pending_capacity,
+                            strict_tickets,
+                        )
+                    })
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -456,6 +481,12 @@ impl ShardPool {
     /// Drops the senders and joins the workers; each worker drains every
     /// job already queued before exiting (`sync_channel` delivers buffered
     /// messages before reporting disconnect). Returns the final snapshot.
+    ///
+    /// # Panics
+    ///
+    /// When a shard worker died of a panic — most notably the
+    /// `strict_tickets` pending-eviction hard error — so an audit run
+    /// cannot silently absorb a dead shard into a clean exit.
     pub fn shutdown(self) -> StatsReport {
         let Self {
             senders,
@@ -463,12 +494,18 @@ impl ShardPool {
             handles,
         } = self;
         drop(senders);
+        let mut dead_shards = 0usize;
         for handle in handles {
-            let _ = handle.join();
+            dead_shards += usize::from(handle.join().is_err());
         }
-        StatsReport {
+        let report = StatsReport {
             shards: metrics.iter().map(|m| m.snapshot()).collect(),
-        }
+        };
+        assert_eq!(
+            dead_shards, 0,
+            "{dead_shards} shard worker(s) panicked (see stderr)"
+        );
+        report
     }
 }
 
@@ -490,15 +527,30 @@ fn worker(
     metrics: Arc<ShardMetrics>,
     max_batch: usize,
     pending_capacity: usize,
+    strict_tickets: bool,
 ) {
     let mut pending = PendingTable::new(pending_capacity);
     let mut scratch = BatchScratch::default();
     while let Ok(first) = rx.recv() {
         metrics.batches.fetch_add(1, Ordering::Relaxed);
-        process(first, &mut predictor, &mut pending, &mut scratch, &metrics);
+        process(
+            first,
+            &mut predictor,
+            &mut pending,
+            &mut scratch,
+            &metrics,
+            strict_tickets,
+        );
         for _ in 1..max_batch {
             match rx.try_recv() {
-                Ok(job) => process(job, &mut predictor, &mut pending, &mut scratch, &metrics),
+                Ok(job) => process(
+                    job,
+                    &mut predictor,
+                    &mut pending,
+                    &mut scratch,
+                    &metrics,
+                    strict_tickets,
+                ),
                 Err(_) => break,
             }
         }
@@ -511,6 +563,7 @@ fn process(
     pending: &mut PendingTable,
     scratch: &mut BatchScratch,
     metrics: &ShardMetrics,
+    strict_tickets: bool,
 ) {
     let t0 = Instant::now();
     match job {
@@ -524,9 +577,22 @@ fn process(
             }));
             predictor.predict_batch(&scratch.reqs, &mut scratch.out);
             let mut out = Vec::with_capacity(items.len());
+            let mut evicted = 0u64;
             for (item, (prediction, meta)) in items.iter().zip(scratch.out.drain(..)) {
-                let ticket = pending.insert(item.pc, prediction, meta);
+                let (ticket, evicted_one) = pending.insert(item.pc, prediction, meta);
+                evicted += u64::from(evicted_one);
                 out.push(PredictReply { ticket, prediction });
+            }
+            if evicted > 0 {
+                metrics.evicted_pending.fetch_add(evicted, Ordering::Relaxed);
+                assert!(
+                    !strict_tickets,
+                    "pending-table eviction under strict_tickets: {evicted} \
+                     in-flight prediction(s) recycled before their train \
+                     arrived (capacity {}); raise pending_capacity or lower \
+                     the in-flight window",
+                    pending.slots.len(),
+                );
             }
             metrics.predicts.fetch_add(n, Ordering::Relaxed);
             metrics.requests.fetch_add(n, Ordering::Relaxed);
@@ -535,10 +601,19 @@ fn process(
         ShardJob::Train { items, tag, reply } => {
             let n = items.len() as u64;
             let (mut applied, mut stale) = (0u32, 0u32);
+            // Misprediction taxonomy of the drained outcomes (the serving
+            // mirror of the simulator's per-tenant pollution counters).
+            let (mut missed, mut false_dep, mut false_byp) = (0u64, 0u64, 0u64);
             scratch.trains.clear();
             for item in items {
                 match pending.take(item.ticket, item.pc) {
                     Some(p) => {
+                        match (&p.prediction, item.outcome.dependence.is_some()) {
+                            (MemDepPrediction::NoDependence, true) => missed += 1,
+                            (MemDepPrediction::Dependence { .. }, false) => false_dep += 1,
+                            (MemDepPrediction::Bypass { .. }, false) => false_byp += 1,
+                            _ => {}
+                        }
                         scratch.trains.push(TrainReq {
                             pc: item.pc,
                             meta: p.meta,
@@ -551,6 +626,9 @@ fn process(
                 }
             }
             predictor.train_batch(&mut scratch.trains);
+            metrics.missed_dependencies.fetch_add(missed, Ordering::Relaxed);
+            metrics.false_dependencies.fetch_add(false_dep, Ordering::Relaxed);
+            metrics.false_bypasses.fetch_add(false_byp, Ordering::Relaxed);
             metrics.trains.fetch_add(u64::from(applied), Ordering::Relaxed);
             metrics
                 .stale_trains
@@ -750,9 +828,11 @@ mod tests {
     fn pending_table_evicts_after_capacity_wraps() {
         let mut table = PendingTable::new(2);
         let p = mascot::prediction::MemDepPrediction::NoDependence;
-        let t0 = table.insert(0x10, p, AnyMeta::Unit);
-        let _t1 = table.insert(0x14, p, AnyMeta::Unit);
-        let _t2 = table.insert(0x18, p, AnyMeta::Unit); // evicts t0's slot
+        let (t0, e0) = table.insert(0x10, p, AnyMeta::Unit);
+        let (_t1, e1) = table.insert(0x14, p, AnyMeta::Unit);
+        let (_t2, e2) = table.insert(0x18, p, AnyMeta::Unit); // evicts t0's slot
+        assert!(!e0 && !e1, "fresh slots are not evictions");
+        assert!(e2, "wrapping onto an occupied slot reports the eviction");
         assert!(table.take(t0, 0x10).is_none(), "evicted ticket is stale");
         assert!(table.take(_t2, 0x18).is_some());
         assert!(table.take(_t1, 0x14).is_some());
@@ -788,7 +868,12 @@ mod tests {
                 // Insert: the slot's previous occupant (if any) is evicted.
                 0 | 1 => {
                     let pc = 0x40_0000 + (rng() % 64) * 4;
-                    let ticket = table.insert(pc, p, AnyMeta::Unit);
+                    let (ticket, evicted) = table.insert(pc, p, AnyMeta::Unit);
+                    assert_eq!(
+                        evicted,
+                        model.contains_key(&(ticket % CAPACITY)),
+                        "round {round}: eviction flag must track slot occupancy"
+                    );
                     model.insert(ticket % CAPACITY, (ticket, pc));
                     issued.push((ticket, pc));
                 }
@@ -931,5 +1016,78 @@ mod tests {
         ]);
         pool.fence();
         pool.shutdown();
+    }
+
+    /// Repro for the in-flight-window overrun the audit flushed out: with a
+    /// pending table smaller than the number of outstanding predictions,
+    /// the oldest tickets are recycled before their trains arrive. The
+    /// default (non-strict) pool must surface that as `evicted_pending`
+    /// plus stale trains — not as silently applied mistraining.
+    #[test]
+    fn pending_overrun_is_counted_not_applied() {
+        let cfg = ShardPoolConfig {
+            shards: 1,
+            pending_capacity: 2,
+            ..Default::default()
+        };
+        let pool = ShardPool::new(PredictorKind::Mascot, &cfg);
+        let (tx, rx) = channel();
+        let pcs = [0x40u64, 0x44, 0x48, 0x4c];
+        pool.send(0, predict_job(&pcs, 1, &tx));
+        let replies = match rx.recv().unwrap().1 {
+            ShardReply::Predict(r) => r,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(pool.stats_report().total_evicted_pending(), 2);
+        // Train every ticket: the two evicted ones must go stale.
+        let items: Vec<TrainItem> = replies
+            .iter()
+            .zip(&pcs)
+            .map(|(r, &pc)| TrainItem {
+                ticket: r.ticket,
+                pc,
+                outcome: mascot::prediction::LoadOutcome::independent(),
+            })
+            .collect();
+        pool.send(
+            0,
+            ShardJob::Train {
+                items,
+                tag: 2,
+                reply: ReplySink::new(tx.clone()),
+            },
+        );
+        match rx.recv().unwrap() {
+            (2, ShardReply::Train { applied, stale }) => {
+                assert_eq!((applied, stale), (2, 2));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.total_evicted_pending(), 2);
+        assert_eq!(report.shards[0].stale_trains, 2);
+    }
+
+    /// Under `strict_tickets` (the `mascotd --audit` configuration) the
+    /// same overrun is a hard error: the shard worker panics and
+    /// `shutdown` refuses to report a clean exit.
+    #[test]
+    fn strict_tickets_turns_eviction_into_hard_error() {
+        let cfg = ShardPoolConfig {
+            shards: 1,
+            pending_capacity: 2,
+            strict_tickets: true,
+            ..Default::default()
+        };
+        let pool = ShardPool::new(PredictorKind::Mascot, &cfg);
+        let (tx, rx) = channel();
+        pool.send(0, predict_job(&[0x40u64, 0x44, 0x48], 1, &tx));
+        // The worker dies mid-batch; once the job's ReplySink (the only
+        // other sender) is gone the channel disconnects without ever
+        // delivering a reply.
+        drop(tx);
+        assert!(rx.recv().is_err(), "no reply escapes the dead shard");
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.shutdown()));
+        assert!(joined.is_err(), "shutdown must propagate the shard panic");
     }
 }

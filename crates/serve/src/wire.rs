@@ -29,10 +29,12 @@ use mascot::prediction::{
 /// Frame magic.
 pub const MAGIC: [u8; 4] = *b"MSRV";
 /// Protocol version. Version 2 added the `Snapshot`/`Restore` opcodes and
-/// three warm-start counters per [`ShardStats`] entry; version-1 frames are
-/// rejected with [`WireError::BadVersion`] (the stats layout changed, so
-/// silent interop would mis-parse).
-pub const VERSION: u8 = 2;
+/// three warm-start counters per [`ShardStats`] entry; version 3 added the
+/// pending-eviction counter and the per-shard misprediction taxonomy
+/// (DESIGN.md §12). Older frames are rejected with
+/// [`WireError::BadVersion`] (the stats layout changed, so silent interop
+/// would mis-parse).
+pub const VERSION: u8 = 3;
 /// Bytes in a frame header (magic + version + code + payload length).
 pub const HEADER_LEN: usize = 10;
 /// Upper bound on a regular frame payload, enforced before allocation.
@@ -54,7 +56,7 @@ const TRAIN_ITEM_BYTES: usize = 4 + 8 + 1 + 1 + 1 + 8 + 4;
 /// Encoded size of one [`PredictReply`].
 const PREDICT_REPLY_BYTES: usize = 6;
 /// Encoded size of one [`ShardStats`].
-const SHARD_STATS_BYTES: usize = 12 * 8;
+const SHARD_STATS_BYTES: usize = 16 * 8;
 
 /// The payload cap for a frame with the given code byte. Snapshot bytes
 /// flow in `Restore` requests (code 6) and `Ok` responses (code 0, which is
@@ -212,6 +214,19 @@ pub struct ShardStats {
     /// Train items dropped because their ticket had been evicted or did not
     /// match (the prediction outlived the pending window).
     pub stale_trains: u64,
+    /// Pending predictions recycled before their train arrived (the
+    /// in-flight window outran the shard's pending capacity); fatal when
+    /// the pool runs with `strict_tickets`.
+    pub evicted_pending: u64,
+    /// Applied trains that predicted `NoDependence` on a dependent outcome.
+    pub missed_dependencies: u64,
+    /// Applied trains that predicted `Dependence` on an independent
+    /// outcome.
+    pub false_dependencies: u64,
+    /// Applied trains that predicted `Bypass` on an independent outcome —
+    /// the squash-causing shape a mistraining attacker induces
+    /// (DESIGN.md §12).
+    pub false_bypasses: u64,
     /// Queue pops that did work (each pop drains up to the configured
     /// micro-batch of jobs).
     pub batches: u64,
@@ -264,6 +279,20 @@ impl StatsReport {
     /// Total entries restored across shards at the last warm start.
     pub fn total_restored(&self) -> u64 {
         self.shards.iter().map(|s| s.restored_entries).sum()
+    }
+
+    /// Total pending predictions evicted before their train arrived.
+    pub fn total_evicted_pending(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted_pending).sum()
+    }
+
+    /// Total applied-train mispredictions across shards (missed + false
+    /// dependencies + false bypasses) — the serving-side pollution signal.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.missed_dependencies + s.false_dependencies + s.false_bypasses)
+            .sum()
     }
 }
 
@@ -752,6 +781,10 @@ impl Response {
                         s.predicts,
                         s.trains,
                         s.stale_trains,
+                        s.evicted_pending,
+                        s.missed_dependencies,
+                        s.false_dependencies,
+                        s.false_bypasses,
                         s.batches,
                         s.rejected_full,
                         s.service_samples,
@@ -848,6 +881,10 @@ impl Response {
                             predicts: r.u64()?,
                             trains: r.u64()?,
                             stale_trains: r.u64()?,
+                            evicted_pending: r.u64()?,
+                            missed_dependencies: r.u64()?,
+                            false_dependencies: r.u64()?,
+                            false_bypasses: r.u64()?,
                             batches: r.u64()?,
                             rejected_full: r.u64()?,
                             service_samples: r.u64()?,
@@ -997,6 +1034,32 @@ mod tests {
         let resp = roundtrip_response(Opcode::Stats, Response::Stats(report.clone()));
         assert_eq!(resp, Response::Stats(report.clone()));
         assert_eq!(report.total_restored(), 1234);
+    }
+
+    /// Version-3 fields: the pending-eviction counter and the per-shard
+    /// misprediction taxonomy must survive the wire and feed the report
+    /// helpers.
+    #[test]
+    fn pollution_taxonomy_roundtrip() {
+        let report = StatsReport {
+            shards: vec![
+                ShardStats {
+                    evicted_pending: 7,
+                    missed_dependencies: 3,
+                    false_dependencies: 2,
+                    false_bypasses: 1,
+                    ..Default::default()
+                },
+                ShardStats {
+                    false_bypasses: 4,
+                    ..Default::default()
+                },
+            ],
+        };
+        let resp = roundtrip_response(Opcode::Stats, Response::Stats(report.clone()));
+        assert_eq!(resp, Response::Stats(report.clone()));
+        assert_eq!(report.total_evicted_pending(), 7);
+        assert_eq!(report.total_mispredictions(), 10);
     }
 
     /// Version-1 peers must be rejected outright: v2 changed the

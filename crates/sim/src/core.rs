@@ -503,6 +503,20 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         self
     }
 
+    /// Enables per-tenant misprediction attribution (DESIGN.md §12): loads
+    /// with `pc < boundary` count toward [`SimStats::victim`], the rest
+    /// toward [`SimStats::attacker`]. The adversarial traces place the
+    /// attacker at `mascot_workloads::adversarial::TENANT_BOUNDARY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary` is zero (zero means "disabled" in the stats).
+    pub fn with_tenant_split(mut self, boundary: u64) -> Self {
+        assert!(boundary > 0, "tenant boundary must be non-zero");
+        self.stats.tenant_boundary = boundary;
+        self
+    }
+
     /// Runs the simulation to completion and returns the statistics.
     ///
     /// # Panics
@@ -950,7 +964,18 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         }
         match reason {
             SquashReason::MemoryOrder => self.stats.mem_order_squashes += 1,
-            SquashReason::BypassFail => self.stats.smb_squashes += 1,
+            SquashReason::BypassFail => {
+                self.stats.smb_squashes += 1;
+                // A wrong bypass that squashes pre-commit replays
+                // conservatively and usually commits demoted, so the
+                // commit-time taxonomy alone would never see it; attribute
+                // the false bypass to its tenant here, at the squash.
+                let pos = self.pos_of(victim).expect("victim in ROB");
+                let pc = self.trace.uops[self.rob[pos].trace_idx].pc;
+                if let Some(t) = self.stats.tenant_mut(pc) {
+                    t.false_bypasses += 1;
+                }
+            }
         }
         self.squash_from(victim);
     }
@@ -1094,6 +1119,10 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
 
     fn commit_load(&mut self, trace_idx: usize, info: &mut LoadInfo<P::Meta>) {
         let pc = self.trace.uops[trace_idx].pc;
+        // Per-tenant attribution (no-op unless `with_tenant_split` set).
+        if let Some(t) = self.stats.tenant_mut(pc) {
+            t.loads += 1;
+        }
         // Prediction census (Fig. 10 left).
         match info.prediction {
             MemDepPrediction::NoDependence => self.stats.pred_no_dep += 1,
@@ -1121,6 +1150,9 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             MemDepPrediction::NoDependence => {
                 if outcome_dist.is_some() {
                     self.stats.missed_dependencies += 1;
+                    if let Some(t) = self.stats.tenant_mut(pc) {
+                        t.missed_dependencies += 1;
+                    }
                 } else {
                     self.stats.correct_no_dep += 1;
                 }
@@ -1128,19 +1160,32 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             MemDepPrediction::Dependence { distance } => match outcome_dist {
                 Some(d) if d == distance => self.stats.correct_mdp += 1,
                 Some(_) => self.stats.wrong_store += 1,
-                None => self.stats.false_dependencies += 1,
+                None => {
+                    self.stats.false_dependencies += 1;
+                    if let Some(t) = self.stats.tenant_mut(pc) {
+                        t.false_dependencies += 1;
+                    }
+                }
             },
             MemDepPrediction::Bypass { distance } => {
                 if info.effective_bypass && !info.bypass_wrong {
                     self.stats.correct_smb += 1;
                 } else if info.effective_bypass {
                     self.stats.smb_errors += 1;
+                    if let Some(t) = self.stats.tenant_mut(pc) {
+                        t.false_bypasses += 1;
+                    }
                 } else {
                     // Demoted bypass (source store gone at dispatch).
                     match outcome_dist {
                         Some(d) if d == distance => self.stats.correct_mdp += 1,
                         Some(_) => self.stats.wrong_store += 1,
-                        None => self.stats.false_dependencies += 1,
+                        None => {
+                            self.stats.false_dependencies += 1;
+                            if let Some(t) = self.stats.tenant_mut(pc) {
+                                t.false_dependencies += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -2041,6 +2086,50 @@ mod tests {
         // Replayed loads commit with the dependence observed: the predictor
         // kept predicting no-dep, so they count as missed dependencies.
         assert!(stats.missed_dependencies > 100);
+    }
+
+    #[test]
+    fn tenant_split_attributes_mispredictions_by_pc() {
+        // Victim tenant: dependent store→load pairs that always_no_dep
+        // mispredicts (missed dependencies). Attacker tenant (PC bit 34
+        // set): genuinely independent loads, correctly predicted.
+        let mut uops = Vec::new();
+        for i in 0..300u64 {
+            let base = 0x1000 + i * 64;
+            uops.push(Uop::alu(0x400, [None, None], Some(1), 12));
+            uops.push(Uop::store(0x410, base, 8, None, Some(1)));
+            let mut dep = dep1().unwrap();
+            dep.store_pc = 0x410;
+            uops.push(Uop::load(0x420, base, 8, None, 2, Some(dep)));
+            uops.push(Uop::load((1 << 34) | 0x420, 0x9000_0000 + i * 64, 8, None, 3, None));
+        }
+        let trace = Trace::new("tenants", uops);
+        let mut p = always_no_dep();
+        let stats = Simulator::new(&trace, &golden(), &mut p)
+            .with_tenant_split(1 << 34)
+            .with_audit()
+            .run();
+        stats.check_identities().unwrap();
+        assert_eq!(stats.victim.loads, 300);
+        assert_eq!(stats.attacker.loads, 300);
+        assert!(
+            stats.victim.missed_dependencies > 100,
+            "victim missed {}",
+            stats.victim.missed_dependencies
+        );
+        assert_eq!(stats.attacker.missed_dependencies, 0);
+        assert!(stats.victim.missed_dependency_rate() > 0.3);
+        assert_eq!(stats.attacker.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn tenant_counters_zero_without_split() {
+        let trace = store_load_trace(50, 4);
+        let mut p = always_no_dep();
+        let stats = simulate(&trace, &golden(), &mut p);
+        assert_eq!(stats.tenant_boundary, 0);
+        assert_eq!(stats.victim, crate::stats::TenantCounters::default());
+        assert_eq!(stats.attacker, crate::stats::TenantCounters::default());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use cache::{CacheLevel, CacheStats, Hierarchy};
 pub use config::{CacheConfig, CoreConfig};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use core::{simulate, Fault, Simulator};
-pub use stats::SimStats;
+pub use stats::{SimStats, TenantCounters};
 pub use uop::{ArchReg, Trace, TraceDep, Uop, UopKind};
 
 // Re-export the shared prediction vocabulary so trace producers do not need

@@ -4,6 +4,54 @@
 use mascot::prediction::BypassClass;
 use serde::{Deserialize, Serialize};
 
+/// Per-tenant misprediction taxonomy for cross-context pollution analysis
+/// (DESIGN.md §12). Attribution is by load PC against
+/// [`SimStats::tenant_boundary`]; every counter here mirrors a subset of
+/// the corresponding global counter, so the per-tenant pair sums back to
+/// the global total (checked by [`SimStats::check_identities`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantCounters {
+    /// Committed loads attributed to this tenant.
+    pub loads: u64,
+    /// This tenant's share of `missed_dependencies`.
+    pub missed_dependencies: u64,
+    /// This tenant's share of `false_dependencies`.
+    pub false_dependencies: u64,
+    /// This tenant's share of wrong speculative bypasses — the
+    /// squash-causing shape a mistraining attacker aims for. Counts both
+    /// pre-commit `BypassFail` squashes (the load then replays and usually
+    /// commits demoted, i.e. as a false dependence) and commit-time
+    /// `smb_errors`, so the pair sums to `smb_squashes + smb_errors`.
+    pub false_bypasses: u64,
+}
+
+impl TenantCounters {
+    /// False bypasses per committed load of this tenant.
+    pub fn false_bypass_rate(&self) -> f64 {
+        mascot_stats::pollution::rate(self.false_bypasses, self.loads)
+    }
+
+    /// False dependencies per committed load of this tenant.
+    pub fn false_dependency_rate(&self) -> f64 {
+        mascot_stats::pollution::rate(self.false_dependencies, self.loads)
+    }
+
+    /// Missed dependencies per committed load of this tenant.
+    pub fn missed_dependency_rate(&self) -> f64 {
+        mascot_stats::pollution::rate(self.missed_dependencies, self.loads)
+    }
+
+    /// All mispredictions tracked per tenant, per committed load — the
+    /// quantity whose attacker-induced *increase* is the attack success
+    /// rate (`mascot_stats::pollution::induced`).
+    pub fn misprediction_rate(&self) -> f64 {
+        mascot_stats::pollution::rate(
+            self.false_bypasses + self.false_dependencies + self.missed_dependencies,
+            self.loads,
+        )
+    }
+}
+
 /// Counters produced by one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
@@ -95,6 +143,16 @@ pub struct SimStats {
     pub l2_misses: u64,
     /// L3 demand misses (DRAM accesses).
     pub l3_misses: u64,
+
+    /// PC boundary for per-tenant attribution
+    /// (`Simulator::with_tenant_split`): loads below it are the victim's,
+    /// at or above it the attacker's. `0` disables attribution and both
+    /// [`TenantCounters`] stay zero.
+    pub tenant_boundary: u64,
+    /// Victim-tenant share of the misprediction taxonomy.
+    pub victim: TenantCounters,
+    /// Attacker-tenant share of the misprediction taxonomy.
+    pub attacker: TenantCounters,
 }
 
 impl SimStats {
@@ -147,6 +205,18 @@ impl SimStats {
         n as f64 / self.committed_loads as f64
     }
 
+    /// The tenant counters `pc` falls on, or `None` when tenant
+    /// attribution is disabled (`tenant_boundary == 0`).
+    pub fn tenant_mut(&mut self, pc: u64) -> Option<&mut TenantCounters> {
+        if self.tenant_boundary == 0 {
+            None
+        } else if pc >= self.tenant_boundary {
+            Some(&mut self.attacker)
+        } else {
+            Some(&mut self.victim)
+        }
+    }
+
     /// Cycles with zero dispatch, attributed to the first blocking reason.
     pub fn total_dispatch_stalls(&self) -> u64 {
         self.stall_frontend + self.stall_rob + self.stall_iq + self.stall_lq + self.stall_sb
@@ -196,6 +266,37 @@ impl SimStats {
                 + self.smb_errors,
             self.pred_mdp + self.pred_smb,
         )?;
+        if self.tenant_boundary != 0 {
+            check(
+                "tenant loads cover committed loads \
+                 (victim.loads + attacker.loads == committed_loads)",
+                self.victim.loads + self.attacker.loads,
+                self.committed_loads,
+            )?;
+            check(
+                "tenant missed-dependency split sums to the total",
+                self.victim.missed_dependencies + self.attacker.missed_dependencies,
+                self.missed_dependencies,
+            )?;
+            check(
+                "tenant false-dependency split sums to the total",
+                self.victim.false_dependencies + self.attacker.false_dependencies,
+                self.false_dependencies,
+            )?;
+            check(
+                "tenant false-bypass split sums to smb_squashes + smb_errors",
+                self.victim.false_bypasses + self.attacker.false_bypasses,
+                self.smb_squashes + self.smb_errors,
+            )?;
+        } else if self.victim != TenantCounters::default()
+            || self.attacker != TenantCounters::default()
+        {
+            return Err(format!(
+                "tenant counters nonzero without a tenant boundary: \
+                 victim {:?}, attacker {:?}",
+                self.victim, self.attacker
+            ));
+        }
         let class_census = self.class_direct_bypass
             + self.class_no_offset
             + self.class_offset

@@ -12,6 +12,8 @@
 //!   ≈1,625 predictions to decay to zero).
 //! * [`summary`] — geometric means, MPKI and other aggregate helpers used to
 //!   report the evaluation figures.
+//! * [`pollution`] — cross-context pollution rates and differential attack
+//!   success for the adversarial mistraining suite (DESIGN.md §12).
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 pub mod confusion;
 pub mod counter;
 pub mod markov;
+pub mod pollution;
 pub mod summary;
 
 pub use confusion::{ConfusionMatrix, F1Accumulator};

@@ -1,0 +1,70 @@
+//! Cross-context pollution metrics for adversarial mistraining analysis
+//! (DESIGN.md §12).
+//!
+//! A mistraining attack is measured *differentially*: the victim program
+//! runs once alone and once interleaved with the attacker, and the attack's
+//! effect is the increase in the victim's misprediction rate between the
+//! two runs. These helpers keep that arithmetic in one place so the
+//! simulator's per-tenant counters, the benchmark harness and the CI gate
+//! all agree on the definitions:
+//!
+//! * [`rate`] — events per committed load (0 when the tenant had no loads).
+//! * [`induced`] — the attacker-attributable share of a rate: the
+//!   under-attack rate minus the victim-alone baseline, clamped at zero
+//!   (the attacker cannot be credited for *improving* the victim).
+//! * [`reduction_factor`] — how many times smaller a defense makes the
+//!   induced rate; the `≥ 10×` security gate compares this.
+
+/// Events per committed load; `0.0` when there were no loads.
+pub fn rate(events: u64, loads: u64) -> f64 {
+    if loads == 0 {
+        0.0
+    } else {
+        events as f64 / loads as f64
+    }
+}
+
+/// The attacker-induced share of a victim rate: `under_attack - alone`,
+/// clamped at zero. Both inputs are rates from [`rate`] (or any other
+/// per-load fraction) measured over the *same victim program*.
+pub fn induced(alone: f64, under_attack: f64) -> f64 {
+    (under_attack - alone).max(0.0)
+}
+
+/// How many times smaller `defended` is than `baseline` (both induced
+/// rates). Returns `f64::INFINITY` when the defense eliminates the attack
+/// entirely (`defended == 0`) and `0.0` when there was no baseline attack
+/// to reduce.
+pub fn reduction_factor(baseline: f64, defended: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else if defended <= 0.0 {
+        f64::INFINITY
+    } else {
+        baseline / defended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_handles_zero_loads() {
+        assert_eq!(rate(5, 0), 0.0);
+        assert_eq!(rate(5, 10), 0.5);
+    }
+
+    #[test]
+    fn induced_clamps_at_zero() {
+        assert!((induced(0.01, 0.21) - 0.2).abs() < 1e-12);
+        assert_eq!(induced(0.30, 0.10), 0.0);
+    }
+
+    #[test]
+    fn reduction_factor_edges() {
+        assert_eq!(reduction_factor(0.2, 0.01), 20.0);
+        assert_eq!(reduction_factor(0.2, 0.0), f64::INFINITY);
+        assert_eq!(reduction_factor(0.0, 0.1), 0.0);
+    }
+}

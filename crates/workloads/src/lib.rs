@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversarial;
 pub mod generator;
 pub mod profile;
 pub mod spec;
 
+pub use adversarial::{compose, victim_only, AttackKind, TENANT_BOUNDARY};
 pub use generator::{generate, TraceBuilder};
 pub use profile::{ClassMix, WorkloadProfile};

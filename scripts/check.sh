@@ -7,8 +7,11 @@
 # Fails if the build (warnings are errors) or any test fails, if the
 # seeded audit soak (cycle-granular invariant checks, the batch-vs-scalar
 # prediction differential over every registered predictor kind, and
-# differential runs across every workload profile) flags a violation, if
-# simulator throughput regresses against the committed
+# differential runs across every workload profile and the mistraining
+# compositions) flags a violation, if the adversarial gate fails (the
+# alias attack must measurably pollute baseline mascot while
+# RandomizedMascot cuts attack success >= 10x at <= 5% benign IPC cost),
+# if simulator throughput regresses against the committed
 # BENCH_sim_throughput.json baseline (median of 3 passes; >10% aggregate
 # or >12% for any single predictor's suite-wide number), if the
 # mascot-serve loopback smoke (real mascotd process + mascot-loadgen over
@@ -56,6 +59,13 @@ echo "== audit soak (batch differential + seeded, all workload profiles) =="
 # target/audit-repros/ and print the replay command.
 cargo run --release ${CARGO_FLAGS} -p mascot-audit --bin audit-soak -- \
     --seed 2025 --uops 20000
+
+echo "== adversarial gate (mistraining suite vs randomized defense) =="
+# Differential attack measurement (DESIGN.md §12): baseline mascot must
+# show the alias attack working (induced pollution over the victim-alone
+# run), RandomizedMascot must cut attack success >= 10x, and its benign
+# IPC must stay within 5% of baseline mascot. Fixed seed, offline.
+cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin adversarial -- --check
 
 echo "== throughput check (aggregate + per-predictor gates) =="
 cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check

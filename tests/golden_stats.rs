@@ -7,12 +7,14 @@
 //! Regenerate with:
 //! `cargo test --release --test golden_stats -- --ignored print_golden --nocapture`
 
-use mascot_bench::{run_one, PredictorKind};
-use mascot_sim::{CoreConfig, SimStats};
+use mascot_bench::{run_one, run_trace, PredictorKind};
+use mascot_sim::{CoreConfig, SimStats, TenantCounters};
+use mascot_workloads::adversarial::{compose, AttackKind, TENANT_BOUNDARY};
 use mascot_workloads::spec;
 
 const GOLDEN_UOPS: usize = 20_000;
 const GOLDEN_SEED: u64 = 2025;
+const MISTRAIN_UOPS: usize = 12_000;
 
 fn matrix() -> Vec<(&'static str, PredictorKind)> {
     let profiles = ["perlbench2", "exchange2"];
@@ -64,6 +66,100 @@ fn stats_match_golden_snapshot() {
     }
 }
 
+fn mistrain_matrix() -> Vec<(AttackKind, PredictorKind)> {
+    let kinds = [PredictorKind::Mascot, PredictorKind::RandomizedMascot];
+    AttackKind::ALL
+        .iter()
+        .flat_map(|&a| kinds.iter().map(move |&k| (a, k)))
+        .collect()
+}
+
+fn run_mistrain(attack: AttackKind, kind: PredictorKind) -> SimStats {
+    let trace = compose(attack, GOLDEN_SEED, MISTRAIN_UOPS);
+    run_trace(
+        &trace,
+        kind,
+        &CoreConfig::golden_cove(),
+        Some(TENANT_BOUNDARY),
+    )
+    .stats
+}
+
+/// Prints the current mistraining pins for updating `mistrain_golden()`.
+#[test]
+#[ignore = "generator for the mistraining golden values below"]
+fn print_mistrain_golden() {
+    for (attack, kind) in mistrain_matrix() {
+        let s = run_mistrain(attack, kind);
+        println!("// ({attack}, PredictorKind::{kind:?})");
+        println!(
+            "({}, {}, {}, {:?}, {:?}),",
+            s.cycles, s.mem_order_squashes, s.smb_squashes, s.victim, s.attacker
+        );
+    }
+}
+
+/// Bit-exact pins of the adversarial runs: cycles, squash counts and the
+/// full per-tenant misprediction split for every attack × defender, plus
+/// the taxonomy identities on each run. Anything that changes attack
+/// dynamics (trace shape, hasher, training policy, tenant attribution)
+/// must regenerate these in the same commit, with an explanation.
+#[test]
+fn mistrain_stats_match_golden() {
+    let golden = mistrain_golden();
+    assert_eq!(golden.len(), mistrain_matrix().len());
+    for ((attack, kind), expected) in mistrain_matrix().into_iter().zip(golden.iter().copied()) {
+        let s = run_mistrain(attack, kind);
+        s.check_identities()
+            .unwrap_or_else(|e| panic!("({attack}, {kind:?}): {e}"));
+        let got = (
+            s.cycles,
+            s.mem_order_squashes,
+            s.smb_squashes,
+            s.victim,
+            s.attacker,
+        );
+        assert_eq!(
+            got, expected,
+            "mistraining stats drifted for ({attack}, {kind:?}) — if the \
+             attack traces or the model intentionally changed, regenerate \
+             with print_mistrain_golden"
+        );
+    }
+    // Invariants the pins must keep encoding: the alias attack really
+    // poisons baseline mascot, and the randomized defense really blanks it.
+    let baseline = &golden[0].3; // (Alias, Mascot) victim
+    assert!(baseline.false_bypasses > 0, "alias attack lost its bypasses");
+    assert!(
+        baseline.false_dependencies > 0,
+        "alias attack lost its false dependencies"
+    );
+    let defended = &golden[1].3; // (Alias, RandomizedMascot) victim
+    assert_eq!(
+        defended.false_bypasses + defended.false_dependencies + defended.missed_dependencies,
+        0,
+        "randomized defense must blank the alias attack"
+    );
+}
+
+#[rustfmt::skip]
+fn mistrain_golden() -> Vec<(u64, u64, u64, TenantCounters, TenantCounters)> {
+    vec![
+        // (mistrain_alias, PredictorKind::Mascot)
+        (18667, 806, 238, TenantCounters { loads: 572, missed_dependencies: 0, false_dependencies: 386, false_bypasses: 238 }, TenantCounters { loads: 3432, missed_dependencies: 990, false_dependencies: 0, false_bypasses: 0 }),
+        // (mistrain_alias, PredictorKind::RandomizedMascot)
+        (4449, 2, 0, TenantCounters { loads: 572, missed_dependencies: 0, false_dependencies: 0, false_bypasses: 0 }, TenantCounters { loads: 3432, missed_dependencies: 1, false_dependencies: 0, false_bypasses: 0 }),
+        // (mistrain_flood, PredictorKind::Mascot)
+        (16981, 516, 0, TenantCounters { loads: 752, missed_dependencies: 4, false_dependencies: 0, false_bypasses: 0 }, TenantCounters { loads: 3008, missed_dependencies: 512, false_dependencies: 0, false_bypasses: 0 }),
+        // (mistrain_flood, PredictorKind::RandomizedMascot)
+        (16981, 516, 0, TenantCounters { loads: 752, missed_dependencies: 4, false_dependencies: 0, false_bypasses: 0 }, TenantCounters { loads: 3008, missed_dependencies: 512, false_dependencies: 0, false_bypasses: 0 }),
+        // (mistrain_interleave, PredictorKind::Mascot)
+        (4945, 1, 3, TenantCounters { loads: 1262, missed_dependencies: 0, false_dependencies: 21, false_bypasses: 3 }, TenantCounters { loads: 1262, missed_dependencies: 16, false_dependencies: 1, false_bypasses: 0 }),
+        // (mistrain_interleave, PredictorKind::RandomizedMascot)
+        (5005, 2, 0, TenantCounters { loads: 1262, missed_dependencies: 1, false_dependencies: 1, false_bypasses: 0 }, TenantCounters { loads: 1262, missed_dependencies: 3, false_dependencies: 1, false_bypasses: 0 }),
+    ]
+}
+
 #[rustfmt::skip]
 fn golden() -> Vec<SimStats> {
     vec![
@@ -105,6 +201,7 @@ fn golden() -> Vec<SimStats> {
             l1d_misses: 1805,
             l2_misses: 1858,
             l3_misses: 1858,
+            ..SimStats::default()
         },
         // ("perlbench2", PredictorKind::NoSq)
         SimStats {
@@ -145,6 +242,7 @@ fn golden() -> Vec<SimStats> {
             l1d_misses: 1804,
             l2_misses: 1858,
             l3_misses: 1858,
+            ..SimStats::default()
         },
         // ("perlbench2", PredictorKind::StoreSets)
         SimStats {
@@ -185,6 +283,7 @@ fn golden() -> Vec<SimStats> {
             l1d_misses: 1804,
             l2_misses: 1858,
             l3_misses: 1858,
+            ..SimStats::default()
         },
         // ("exchange2", PredictorKind::Mascot)
         SimStats {
@@ -225,6 +324,7 @@ fn golden() -> Vec<SimStats> {
             l1d_misses: 42,
             l2_misses: 284,
             l3_misses: 284,
+            ..SimStats::default()
         },
         // ("exchange2", PredictorKind::NoSq)
         SimStats {
@@ -265,6 +365,7 @@ fn golden() -> Vec<SimStats> {
             l1d_misses: 42,
             l2_misses: 284,
             l3_misses: 284,
+            ..SimStats::default()
         },
         // ("exchange2", PredictorKind::StoreSets)
         SimStats {
@@ -305,6 +406,7 @@ fn golden() -> Vec<SimStats> {
             l1d_misses: 42,
             l2_misses: 284,
             l3_misses: 284,
+            ..SimStats::default()
         },
     ]
 }
