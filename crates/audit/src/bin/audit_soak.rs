@@ -19,10 +19,11 @@ use std::process::ExitCode;
 
 use mascot_audit::runner::quiet_panics;
 use mascot_audit::{
-    check_batch_equivalence, check_determinism, check_mdp_agreement, check_snapshot_roundtrip,
-    run_audited, shrink, write_repro,
+    check_batch_equivalence, check_determinism, check_mdp_agreement, check_sampled_determinism,
+    check_snapshot_roundtrip, run_audited, shrink, write_repro,
 };
 use mascot_predictors::PredictorKind;
+use mascot_sampling::SamplingConfig;
 use mascot_sim::{codec, CoreConfig, Fault, Trace};
 use mascot_workloads::{generate, spec};
 
@@ -184,6 +185,24 @@ fn soak_trace(trace: &Trace, cfg: &CoreConfig, args: &Args, context: &str) -> Ve
                 label,
                 message: e.to_string(),
             });
+        }
+        // Sampled-pipeline determinism: plan → warm → measure → project run
+        // twice must agree bit-for-bit (DESIGN.md §13). Sized down so the
+        // soak trace yields a handful of intervals per cluster.
+        if let Some(&kind) = args.kinds.first() {
+            let samp = SamplingConfig {
+                interval_uops: (trace.len() / 8).max(1_000),
+                clusters: 4,
+                warmup_uops: 500,
+                ..SamplingConfig::default()
+            };
+            if let Err(e) = check_sampled_determinism(trace, cfg, kind, &samp) {
+                println!("DIFF FAILURE: {context} sampled-determinism {}: {e}", kind.label());
+                failures.push(Failure {
+                    label: format!("{context}-{}-sampled-determinism", kind.label()),
+                    message: e.to_string(),
+                });
+            }
         }
     }
 

@@ -33,6 +33,7 @@ use mascot::prediction::{
     ObservedDependence, PredictReq, StoreDistance, TrainReq,
 };
 use mascot_predictors::{AnyMeta, AnyPredictor, PredictorKind};
+use mascot_sampling::{run_sampled, SampledOutcome, SamplingConfig};
 use mascot_sim::{CoreConfig, SimStats, Simulator, Trace, TraceDep, UopKind};
 
 /// A divergence found by a differential check.
@@ -84,6 +85,13 @@ pub enum DiffError {
         /// Which stage of the round-trip diverged or failed.
         detail: String,
     },
+    /// Two sampled runs of the same configuration diverged.
+    SampledDiverged {
+        /// Predictor kind under test.
+        kind: PredictorKind,
+        /// Which part of the sampled pipeline diverged (plan, projection).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DiffError {
@@ -120,6 +128,11 @@ impl std::fmt::Display for DiffError {
             DiffError::SnapshotDiverged { kind, detail } => write!(
                 f,
                 "snapshot round-trip for {} diverged: {detail}",
+                kind.label()
+            ),
+            DiffError::SampledDiverged { kind, detail } => write!(
+                f,
+                "sampled run for {} diverged between repetitions: {detail}",
                 kind.label()
             ),
         }
@@ -544,10 +557,78 @@ pub fn check_snapshot_roundtrip(
     Ok(())
 }
 
+/// Sampled-simulation determinism: planning, functional warm-up and
+/// projection are promised to be pure functions of (trace, kind, core,
+/// config). Runs the cluster-and-project pipeline twice and requires
+/// bit-identical interval assignments, representatives and projected
+/// statistics — the property the bench harness's prep cache and the
+/// `sampling --check` gate both lean on.
+///
+/// # Errors
+///
+/// [`DiffError::SampledDiverged`] naming the diverging stage.
+pub fn check_sampled_determinism(
+    trace: &Trace,
+    core: &CoreConfig,
+    kind: PredictorKind,
+    cfg: &SamplingConfig,
+) -> Result<SampledOutcome, DiffError> {
+    let diverged = |detail: String| DiffError::SampledDiverged { kind, detail };
+    let first = run_sampled(trace, kind, core, cfg);
+    let second = run_sampled(trace, kind, core, cfg);
+    if first.plan.assignments != second.plan.assignments {
+        return Err(diverged(format!(
+            "cluster assignments differ ({:?} vs {:?})",
+            first.plan.assignments, second.plan.assignments
+        )));
+    }
+    let reps = |o: &SampledOutcome| -> Vec<usize> {
+        o.plan.clusters.iter().map(|c| c.representative).collect()
+    };
+    if reps(&first) != reps(&second) {
+        return Err(diverged(format!(
+            "representatives differ ({:?} vs {:?})",
+            reps(&first),
+            reps(&second)
+        )));
+    }
+    if first.projected != second.projected {
+        return Err(diverged(format!(
+            "projected stats differ (ipc {} vs {})",
+            first.projected.ipc(),
+            second.projected.ipc()
+        )));
+    }
+    if first != second {
+        return Err(diverged("outcomes differ outside plan/projection".into()));
+    }
+    Ok(first)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mascot_workloads::{generate, spec};
+
+    #[test]
+    fn sampled_runs_deterministic_on_generated_workload() {
+        let profile = spec::profile("exchange2").expect("known profile");
+        let trace = generate(&profile, 11, 16_000);
+        let cfg = SamplingConfig {
+            interval_uops: 2_000,
+            clusters: 3,
+            warmup_uops: 500,
+            ..SamplingConfig::default()
+        };
+        let outcome = check_sampled_determinism(
+            &trace,
+            &CoreConfig::golden_cove(),
+            PredictorKind::Mascot,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(outcome.represented_uops, trace.len() as u64);
+    }
 
     #[test]
     fn deterministic_on_generated_workloads() {

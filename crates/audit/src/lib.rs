@@ -30,8 +30,8 @@ pub mod runner;
 pub mod shrink;
 
 pub use differential::{
-    check_batch_equivalence, check_determinism, check_mdp_agreement, check_snapshot_roundtrip,
-    fingerprint, DiffError,
+    check_batch_equivalence, check_determinism, check_mdp_agreement, check_sampled_determinism,
+    check_snapshot_roundtrip, fingerprint, DiffError,
 };
 pub use runner::{run_audited, run_audited_with, AuditFailure};
 pub use shrink::{renormalize, shrink, write_repro};

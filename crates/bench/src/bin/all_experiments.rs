@@ -1,10 +1,27 @@
 //! Runs every experiment binary in sequence, mirroring the paper's
 //! evaluation section end to end. Equivalent to running each `table*` /
 //! `figure*` binary yourself; see DESIGN.md §3 for the index.
+//!
+//! `--sampled` runs the whole sweep in cluster-and-project mode: every
+//! child is launched with `MASCOT_SAMPLED=1`, so each (benchmark,
+//! predictor, core) cell is projected from representative intervals
+//! (DESIGN.md §13) instead of simulated end to end. Useful for a fast
+//! smoke pass over the full evaluation; headline numbers should still
+//! come from the default full-trace run.
 
 use std::process::Command;
 
 fn main() {
+    let mut sampled = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--sampled" => sampled = true,
+            other => {
+                eprintln!("unknown argument `{other}`; usage: all_experiments [--sampled]");
+                std::process::exit(2);
+            }
+        }
+    }
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("binary directory");
     let experiments = [
@@ -25,10 +42,17 @@ fn main() {
         "window_sweep",
         "bottleneck",
     ];
+    if sampled {
+        println!("sampled mode: projecting every cell from representative intervals");
+    }
     let started = std::time::Instant::now();
     for name in experiments {
         println!("\n######## {name} ########\n");
-        let status = Command::new(dir.join(name))
+        let mut command = Command::new(dir.join(name));
+        if sampled {
+            command.env("MASCOT_SAMPLED", "1");
+        }
+        let status = command
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         assert!(status.success(), "{name} failed with {status}");

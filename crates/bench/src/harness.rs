@@ -10,6 +10,8 @@ use mascot_predictors::AnyPredictor;
 // `mascot-predictors` (shared with `mascot-serve`); re-exported here so
 // every figure/table binary keeps importing it from the harness.
 pub use mascot_predictors::PredictorKind;
+pub use mascot_sampling::SamplingConfig;
+use mascot_sampling::{ClusterPlan, WarmSet};
 use mascot_sim::{simulate, CoreConfig, SimStats, Trace};
 use mascot_workloads::{generate, WorkloadProfile};
 use serde::{Deserialize, Serialize};
@@ -19,39 +21,192 @@ pub const DEFAULT_TRACE_UOPS: usize = 150_000;
 /// Default generation seed.
 pub const DEFAULT_SEED: u64 = 2025;
 
+/// Entry cap for the process-wide trace cache.
+const TRACE_CACHE_MAX_ENTRIES: usize = 48;
+/// Total requested-uop budget for the process-wide trace cache. Long-trace
+/// sweeps (sampled-simulation gates run 10× traces) would otherwise pin
+/// tens of millions of uops per distinct key for the process lifetime.
+const TRACE_CACHE_MAX_UOPS: usize = 24_000_000;
+
+type TraceKey = (WorkloadProfile, u64, usize);
+type TraceSlot = Arc<OnceLock<Arc<Trace>>>;
+
+struct TraceCacheEntry {
+    key: TraceKey,
+    slot: TraceSlot,
+    last_used: u64,
+}
+
+/// A bounded LRU of generated traces, keyed by `(profile, seed, uops)`.
+/// Kept separate from the static instance so the eviction policy is unit
+/// testable on a fresh cache.
+struct TraceCache {
+    /// Entries plus a monotonic access tick, under one lock.
+    inner: Mutex<(Vec<TraceCacheEntry>, u64)>,
+    max_entries: usize,
+    max_uops: usize,
+}
+
+impl TraceCache {
+    const fn new(max_entries: usize, max_uops: usize) -> Self {
+        Self {
+            inner: Mutex::new((Vec::new(), 0)),
+            max_entries,
+            max_uops,
+        }
+    }
+
+    fn get(&self, profile: &WorkloadProfile, seed: u64, trace_uops: usize) -> Arc<Trace> {
+        // The registry lock is held only to find/insert the key's slot,
+        // never during generation, so workers building *different* traces
+        // proceed in parallel; workers racing for the *same* trace
+        // rendezvous on the slot's `OnceLock` and generate it exactly once.
+        // Eviction drops only the registry's reference — a worker holding a
+        // slot for an evicted key finishes generating into its own `Arc`s.
+        let slot: TraceSlot = {
+            let mut guard = self.inner.lock().expect("trace cache poisoned");
+            let (entries, tick) = &mut *guard;
+            *tick += 1;
+            let now = *tick;
+            match entries
+                .iter_mut()
+                .find(|e| e.key.0 == *profile && e.key.1 == seed && e.key.2 == trace_uops)
+            {
+                Some(entry) => {
+                    entry.last_used = now;
+                    Arc::clone(&entry.slot)
+                }
+                None => {
+                    // Evict least-recently-used entries until the new one
+                    // fits both bounds (an oversized single trace still
+                    // gets cached — the bounds limit *retention*, not
+                    // admission, so the generate-once rendezvous works for
+                    // any size).
+                    while !entries.is_empty()
+                        && (entries.len() >= self.max_entries
+                            || entries.iter().map(|e| e.key.2).sum::<usize>() + trace_uops
+                                > self.max_uops)
+                    {
+                        let lru = entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(i, _)| i)
+                            .expect("checked non-empty");
+                        entries.swap_remove(lru);
+                    }
+                    let slot = TraceSlot::default();
+                    entries.push(TraceCacheEntry {
+                        key: (profile.clone(), seed, trace_uops),
+                        slot: Arc::clone(&slot),
+                        last_used: now,
+                    });
+                    slot
+                }
+            }
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(generate(profile, seed, trace_uops))))
+    }
+}
+
 /// Returns the trace for `(profile, seed, uops)`, generating it at most
-/// once per process and sharing it read-only afterwards. A full suite run
+/// once and sharing it read-only while it stays cached. A full suite run
 /// is `|profiles| × |kinds|` simulations but only `|profiles|` distinct
 /// traces; generation is a double-digit share of short runs, so every
 /// caller on the (benchmark × predictor) cross product goes through here.
 ///
 /// Keyed by the full profile (not just its name), so ad-hoc profiles with
-/// colliding names stay distinct. The cache is a linear scan: suites hold
-/// at most a few dozen entries and each hit saves milliseconds.
+/// colliding names stay distinct. The cache is a bounded LRU
+/// ([`TRACE_CACHE_MAX_ENTRIES`] entries, [`TRACE_CACHE_MAX_UOPS`] total
+/// requested uops): least-recently-used traces are dropped once either
+/// bound is exceeded, so long-lived processes sweeping many long traces
+/// don't accumulate every trace they ever touched. Lookup is a linear
+/// scan — at the entry cap that's still trivially cheaper than the
+/// milliseconds a hit saves.
 pub fn cached_trace(profile: &WorkloadProfile, seed: u64, trace_uops: usize) -> Arc<Trace> {
-    type Key = (WorkloadProfile, u64, usize);
-    type Slot = Arc<OnceLock<Arc<Trace>>>;
-    static CACHE: OnceLock<Mutex<Vec<(Key, Slot)>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    // The registry lock is held only to find/insert the key's slot, never
-    // during generation, so workers building *different* traces proceed in
-    // parallel; workers racing for the *same* trace rendezvous on the
-    // slot's `OnceLock` and generate it exactly once.
-    let slot: Slot = {
-        let mut entries = cache.lock().expect("trace cache poisoned");
-        match entries
-            .iter()
-            .find(|((p, s, u), _)| p == profile && *s == seed && *u == trace_uops)
-        {
-            Some((_, slot)) => Arc::clone(slot),
+    static CACHE: TraceCache = TraceCache::new(TRACE_CACHE_MAX_ENTRIES, TRACE_CACHE_MAX_UOPS);
+    CACHE.get(profile, seed, trace_uops)
+}
+
+/// Entry cap for the process-wide sampling-prep cache. Each entry holds one
+/// warm-up checkpoint per cluster (~1–2 MiB of cache tags and predictor
+/// tables each), so the cap bounds resident memory to a few hundred MiB in
+/// the worst case while still covering a whole benchmark × predictor sweep
+/// at one configuration.
+const PREP_CACHE_MAX_ENTRIES: usize = 6;
+
+/// The reusable half of a sampled run for one `(trace, predictor, core,
+/// config)` cell: the cluster plan and the per-cluster functional warm-up
+/// checkpoints. Building this walks the trace twice (fingerprinting, then
+/// the sequential architectural warm pass); measuring with it simulates
+/// only `clusters × (warmup + interval)` uops.
+#[derive(Debug)]
+pub struct SamplingPrep {
+    /// The clustering decision (predictor-independent).
+    pub plan: ClusterPlan,
+    /// Per-cluster warm-up checkpoints for this predictor kind.
+    pub warm: WarmSet,
+}
+
+type PrepKey = (WorkloadProfile, u64, usize, String, CoreConfig, SamplingConfig);
+type PrepSlot = Arc<OnceLock<Arc<SamplingPrep>>>;
+
+/// Returns the sampling prep for a cell, building it at most once while it
+/// stays cached (bounded LRU, same slot-rendezvous discipline as
+/// [`cached_trace`]). This is what makes sampled *sweeps* fast: the plan
+/// and warm checkpoints are a per-trace/per-predictor investment — itself
+/// several times cheaper than one full simulation — after which every
+/// further sampled run of that cell costs only its representative windows.
+/// The SimPoint checkpoint workflow, in-process.
+pub fn cached_sampling_prep(
+    profile: &WorkloadProfile,
+    trace: &Trace,
+    kind: PredictorKind,
+    core: &CoreConfig,
+    seed: u64,
+    trace_uops: usize,
+    cfg: &SamplingConfig,
+) -> Arc<SamplingPrep> {
+    static CACHE: Mutex<(Vec<(PrepKey, PrepSlot, u64)>, u64)> = Mutex::new((Vec::new(), 0));
+    let key: PrepKey = (
+        profile.clone(),
+        seed,
+        trace_uops,
+        kind.label().into_owned(),
+        core.clone(),
+        *cfg,
+    );
+    let slot: PrepSlot = {
+        let mut guard = CACHE.lock().expect("prep cache poisoned");
+        let (entries, tick) = &mut *guard;
+        *tick += 1;
+        let now = *tick;
+        match entries.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, slot, last_used)) => {
+                *last_used = now;
+                Arc::clone(slot)
+            }
             None => {
-                let slot = Slot::default();
-                entries.push(((profile.clone(), seed, trace_uops), Arc::clone(&slot)));
+                while entries.len() >= PREP_CACHE_MAX_ENTRIES {
+                    let lru = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, _, last_used))| *last_used)
+                        .map(|(i, _)| i)
+                        .expect("checked non-empty");
+                    entries.swap_remove(lru);
+                }
+                let slot = PrepSlot::default();
+                entries.push((key, Arc::clone(&slot), now));
                 slot
             }
         }
     };
-    Arc::clone(slot.get_or_init(|| Arc::new(generate(profile, seed, trace_uops))))
+    Arc::clone(slot.get_or_init(|| {
+        let plan = mascot_sampling::plan(trace, cfg);
+        let warm = mascot_sampling::warm_checkpoints(trace, &plan, kind, core, cfg);
+        Arc::new(SamplingPrep { plan, warm })
+    }))
 }
 
 /// The outcome of one simulation run.
@@ -91,6 +246,15 @@ pub fn trace_uops_from_env() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_TRACE_UOPS)
+}
+
+/// Sampled-mode override from `MASCOT_SAMPLED` (any value other than empty
+/// or `0` enables). When set, [`run_one`] — and therefore [`run_suite`] and
+/// every figure/table binary built on them — transparently projects each
+/// cell from representative intervals ([`run_one_sampled`] with the default
+/// [`SamplingConfig`]) instead of simulating the whole trace.
+pub fn sampled_from_env() -> bool {
+    std::env::var("MASCOT_SAMPLED").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Runs one simulation against a caller-owned predictor (used by the
@@ -154,7 +318,9 @@ pub fn run_trace(
     }
 }
 
-/// Runs one (benchmark, predictor, core) combination.
+/// Runs one (benchmark, predictor, core) combination. Honours the
+/// `MASCOT_SAMPLED` override ([`sampled_from_env`]): when set, the cell is
+/// projected from representative intervals instead of simulated end to end.
 pub fn run_one(
     profile: &WorkloadProfile,
     kind: PredictorKind,
@@ -162,6 +328,10 @@ pub fn run_one(
     trace_uops: usize,
     seed: u64,
 ) -> RunResult {
+    if sampled_from_env() {
+        return run_one_sampled(profile, kind, core, trace_uops, seed, &SamplingConfig::default())
+            .run;
+    }
     let trace = cached_trace(profile, seed, trace_uops);
     let mut predictor = kind.build();
     let t0 = Instant::now();
@@ -178,8 +348,9 @@ pub fn run_one(
     }
 }
 
-/// Runs the full cross product in parallel (one thread per combination,
-/// bounded by the host's parallelism).
+/// Runs the full cross product in parallel on the shared scoped worker
+/// pool ([`mascot_sampling::parallel_map`]), bounded by the host's
+/// parallelism, results in cross-product order.
 pub fn run_suite(
     profiles: &[WorkloadProfile],
     kinds: &[PredictorKind],
@@ -187,40 +358,96 @@ pub fn run_suite(
     trace_uops: usize,
     seed: u64,
 ) -> Vec<RunResult> {
-    let jobs: Vec<(usize, &WorkloadProfile, PredictorKind)> = profiles
+    let jobs: Vec<(&WorkloadProfile, PredictorKind)> = profiles
         .iter()
         .flat_map(|p| kinds.iter().map(move |&k| (p, k)))
-        .enumerate()
-        .map(|(i, (p, k))| (i, p, k))
         .collect();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    // One slot per job, written exactly once by the worker that claims the
-    // job, then unwrapped in place — no intermediate collection.
-    let slots: Vec<Mutex<Option<RunResult>>> =
-        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(idx, profile, kind)) = jobs.get(i) else {
-                    break;
-                };
-                let result = run_one(profile, kind, core, trace_uops, seed);
-                *slots[idx].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job produced a result")
-        })
+    mascot_sampling::parallel_map(&jobs, |_, &(profile, kind)| {
+        run_one(profile, kind, core, trace_uops, seed)
+    })
+}
+
+/// The outcome of one *sampled* simulation run (DESIGN.md §13): projected
+/// full-trace stats plus the sampling cost accounting.
+#[derive(Debug, Clone)]
+pub struct SampledRunResult {
+    /// The projected result, shaped like a normal [`RunResult`] so every
+    /// downstream table/figure helper works unchanged. `stats` holds the
+    /// cluster-weighted projection; `wall_ms`/`uops_per_sec` measure the
+    /// *measurement* (representative-window simulation + projection)
+    /// against the uops it represents — the marginal trace-volume
+    /// throughput once the cell's prep is built, which is what the
+    /// speedup gate compares. One-time prep cost is reported separately in
+    /// [`prep_wall_ms`](Self::prep_wall_ms).
+    pub run: RunResult,
+    /// Uops actually simulated in detail (detailed warm-ups included).
+    pub simulated_uops: u64,
+    /// Uops the projection stands in for (the full trace).
+    pub represented_uops: u64,
+    /// Wall-clock spent building this cell's [`SamplingPrep`] (fingerprint
+    /// + clustering + the sequential functional warm pass) — `0.0` when
+    /// the prep cache already held it. Amortised across every sampled run
+    /// of the same cell, the SimPoint checkpoint economics.
+    pub prep_wall_ms: f64,
+}
+
+/// Runs one (benchmark, predictor, core) combination in sampled mode:
+/// cluster the trace's intervals, functionally warm one checkpoint per
+/// cluster (cached via [`cached_sampling_prep`]), simulate each cluster's
+/// representative window and project full-trace stats
+/// ([`mascot_sampling::run_sampled_with`]).
+pub fn run_one_sampled(
+    profile: &WorkloadProfile,
+    kind: PredictorKind,
+    core: &CoreConfig,
+    trace_uops: usize,
+    seed: u64,
+    cfg: &SamplingConfig,
+) -> SampledRunResult {
+    let trace = cached_trace(profile, seed, trace_uops);
+    let p0 = Instant::now();
+    let prep = cached_sampling_prep(profile, &trace, kind, core, seed, trace_uops, cfg);
+    let prep_wall_ms = p0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let out = mascot_sampling::run_sampled_with(&trace, &prep.plan, &prep.warm, core, cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    let uops_per_sec = if secs > 0.0 {
+        out.represented_uops as f64 / secs
+    } else {
+        0.0
+    };
+    SampledRunResult {
+        run: RunResult {
+            benchmark: profile.name.to_string(),
+            predictor: kind.label().into_owned(),
+            core: core.name.clone(),
+            stats: out.projected,
+            storage_kib: kind.build().storage_kib(),
+            wall_ms: secs * 1e3,
+            uops_per_sec,
+        },
+        simulated_uops: out.simulated_uops,
+        represented_uops: out.represented_uops,
+        prep_wall_ms,
+    }
+}
+
+/// Sampled-mode [`run_suite`]: the same cross product, each cell projected
+/// from representative intervals instead of simulated end to end. The
+/// per-cell pipeline already fans its representatives out on the worker
+/// pool, so cells run sequentially here rather than nesting pools.
+pub fn run_suite_sampled(
+    profiles: &[WorkloadProfile],
+    kinds: &[PredictorKind],
+    core: &CoreConfig,
+    trace_uops: usize,
+    seed: u64,
+    cfg: &SamplingConfig,
+) -> Vec<SampledRunResult> {
+    profiles
+        .iter()
+        .flat_map(|p| kinds.iter().map(move |&k| (p, k)))
+        .map(|(p, k)| run_one_sampled(p, k, core, trace_uops, seed, cfg))
         .collect()
 }
 
@@ -333,6 +560,85 @@ mod tests {
         assert!(normalized_ipc(&results, "x", "mascot", "perfect-mdp").is_none());
         assert!(geomean_normalized_ipc(&results, &["x".to_string()], "mascot", "perfect-mdp")
             .is_none());
+    }
+
+    #[test]
+    fn trace_cache_caps_entries_and_evicts_lru() {
+        let cache = TraceCache::new(4, usize::MAX);
+        let profile = spec::profile("exchange2").unwrap();
+        // Fill the cache with 4 distinct keys (seeds 0..4).
+        let traces: Vec<Arc<Trace>> = (0..4).map(|s| cache.get(&profile, s, 200)).collect();
+        // Touch seed 0 so seed 1 becomes the least recently used.
+        assert!(Arc::ptr_eq(&cache.get(&profile, 0, 200), &traces[0]));
+        // A fifth key evicts exactly one entry: seed 1.
+        let _ = cache.get(&profile, 4, 200);
+        assert!(
+            Arc::ptr_eq(&cache.get(&profile, 0, 200), &traces[0]),
+            "recently touched entry survives"
+        );
+        // Seed 1 was evicted, so this access regenerates (which in turn
+        // evicts the new LRU) — a fresh allocation, not the cached one.
+        assert!(
+            !Arc::ptr_eq(&cache.get(&profile, 1, 200), &traces[1]),
+            "LRU entry was evicted and regenerated"
+        );
+    }
+
+    #[test]
+    fn trace_cache_respects_uop_budget_but_admits_oversized_traces() {
+        let cache = TraceCache::new(usize::MAX, 1_000);
+        let profile = spec::profile("exchange2").unwrap();
+        let small = cache.get(&profile, 1, 400);
+        let _ = cache.get(&profile, 2, 400);
+        // 400 + 400 + 400 > 1000: inserting a third evicts the oldest.
+        let _ = cache.get(&profile, 3, 400);
+        assert!(!Arc::ptr_eq(&cache.get(&profile, 1, 400), &small));
+        // A single trace over the whole budget is still generated once and
+        // cached (bounds limit retention, not admission)…
+        let big = cache.get(&profile, 9, 2_000);
+        assert!(Arc::ptr_eq(&cache.get(&profile, 9, 2_000), &big));
+        // …at the cost of evicting everything else.
+        let (entries, _) = &*cache.inner.lock().unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn sampled_run_projects_plausible_stats() {
+        let profile = spec::profile("exchange2").unwrap();
+        let cfg = SamplingConfig {
+            interval_uops: 2_000,
+            clusters: 5,
+            warmup_uops: 1_000,
+            ..SamplingConfig::default()
+        };
+        let sampled = run_one_sampled(
+            &profile,
+            PredictorKind::Mascot,
+            &CoreConfig::golden_cove(),
+            30_000,
+            1,
+            &cfg,
+        );
+        assert!(sampled.simulated_uops < sampled.represented_uops);
+        assert_eq!(sampled.run.benchmark, "exchange2");
+        let full = run_one(
+            &profile,
+            PredictorKind::Mascot,
+            &CoreConfig::golden_cove(),
+            30_000,
+            1,
+        );
+        // Projected committed-uop total equals the trace length by
+        // construction (weights cover the trace; every uop commits).
+        assert_eq!(
+            sampled.run.stats.committed_uops,
+            full.stats.committed_uops
+        );
+        let err = mascot_stats::projection::relative_error(
+            sampled.run.stats.ipc(),
+            full.stats.ipc(),
+        );
+        assert!(err.abs() < 0.25, "projected IPC off by {err:+.3}");
     }
 
     #[test]

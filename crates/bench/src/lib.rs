@@ -16,8 +16,9 @@ pub mod json;
 pub mod table;
 
 pub use harness::{
-    benchmarks, cached_trace, find, geomean_normalized_ipc, normalized_ipc, run_one, run_suite,
-    run_trace, run_with_predictor, trace_uops_from_env, PredictorKind, RunResult, DEFAULT_SEED,
-    DEFAULT_TRACE_UOPS,
+    benchmarks, cached_sampling_prep, cached_trace, find, geomean_normalized_ipc, normalized_ipc,
+    run_one, run_one_sampled, run_suite, run_suite_sampled, run_trace, run_with_predictor,
+    sampled_from_env, trace_uops_from_env, PredictorKind, RunResult, SampledRunResult,
+    SamplingConfig, SamplingPrep, DEFAULT_SEED, DEFAULT_TRACE_UOPS,
 };
 pub use table::TextTable;

@@ -1,0 +1,204 @@
+//! Seeded, deterministic k-means over interval fingerprints.
+//!
+//! No external dependencies and no ambient randomness: initialisation is
+//! k-means++ driven by a splitmix64 stream seeded by the caller (the same
+//! generator family as `mascot-predictors`' randomized defense), distance
+//! ties break toward the lowest index, and Lloyd iterations are strictly
+//! sequential — so the same `(points, k, seed)` triple produces
+//! bit-identical assignments and centroids on every run, on every host.
+//! That determinism is load-bearing: the audit crate differentials a
+//! sampled run against a rerun and requires equality to the bit.
+
+use crate::fingerprint::{Fingerprint, FINGERPRINT_DIMS};
+
+/// splitmix64 step: advances `state` and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the splitmix64 stream (53 mantissa bits).
+fn next_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The outcome of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Per-point cluster index, `assignments[i] < centroids.len()`.
+    pub assignments: Vec<u32>,
+    /// Cluster centroids. Some may own no points (duplicate-heavy inputs);
+    /// callers compact them away (see `pipeline::plan`).
+    pub centroids: Vec<Fingerprint>,
+    /// Lloyd iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Index of the centroid nearest to `p` (ties toward the lowest index).
+fn nearest(centroids: &[Fingerprint], p: &Fingerprint) -> u32 {
+    let mut best = 0u32;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = p.dist2(centroid);
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+/// k-means++ initial centroids: the first is a uniform draw, each later
+/// one is drawn with probability proportional to its squared distance from
+/// the nearest centroid so far. Duplicate-heavy inputs can exhaust the
+/// distance mass early; remaining centroids then repeat the first point,
+/// which Lloyd leaves empty and the caller compacts away.
+fn seed_centroids(points: &[Fingerprint], k: usize, state: &mut u64) -> Vec<Fingerprint> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[(splitmix64(state) % points.len() as u64) as usize]);
+    let mut d2: Vec<f64> = points.iter().map(|p| p.dist2(&centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All residual mass is zero: every point coincides with some
+            // centroid. Keep the draw count stable anyway.
+            let _ = splitmix64(state);
+            centroids[0]
+        } else {
+            let mut r = next_f64(state) * total;
+            let mut idx = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if r < d {
+                    idx = i;
+                    break;
+                }
+                r -= d;
+            }
+            points[idx]
+        };
+        centroids.push(next);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.dist2(&next));
+        }
+    }
+    centroids
+}
+
+/// Clusters `points` into (at most) `k` groups. `k` is clamped to the
+/// point count; `max_iters` bounds the Lloyd loop (convergence — an
+/// iteration that changes no assignment — usually lands far earlier).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k` is zero.
+pub fn kmeans(points: &[Fingerprint], k: usize, seed: u64, max_iters: usize) -> KmeansResult {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(k > 0, "cluster count must be non-zero");
+    let k = k.min(points.len());
+    let mut state = seed ^ 0x6d61_7363_6f74_u64; // domain-separate from other users
+    let mut centroids = seed_centroids(points, k, &mut state);
+    let mut assignments: Vec<u32> = points.iter().map(|p| nearest(&centroids, p)).collect();
+
+    let mut iterations = 0;
+    while iterations < max_iters {
+        iterations += 1;
+        // Recompute centroids as member means; empty clusters keep their
+        // previous centroid (they stay empty unless a later reassignment
+        // moves mass toward them).
+        let mut sums = vec![[0.0f64; FINGERPRINT_DIMS]; k];
+        let mut counts = vec![0u64; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a as usize] += 1;
+            for (s, v) in sums[a as usize].iter_mut().zip(&p.0) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let mut centroid = [0.0f64; FINGERPRINT_DIMS];
+                for (dst, s) in centroid.iter_mut().zip(&sums[c]) {
+                    *dst = s / counts[c] as f64;
+                }
+                centroids[c] = Fingerprint(centroid);
+            }
+        }
+        let next: Vec<u32> = points.iter().map(|p| nearest(&centroids, p)).collect();
+        if next == assignments {
+            break;
+        }
+        assignments = next;
+    }
+    KmeansResult {
+        assignments,
+        centroids,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(bias: f64, jitter: f64) -> Fingerprint {
+        let mut v = [0.0; FINGERPRINT_DIMS];
+        v[0] = bias + jitter;
+        v[3] = bias;
+        Fingerprint(v)
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(point(0.1, i as f64 * 1e-3));
+            points.push(point(0.9, i as f64 * 1e-3));
+        }
+        let r = kmeans(&points, 2, 42, 50);
+        // Even indices all in one cluster, odd in the other.
+        let a0 = r.assignments[0];
+        let a1 = r.assignments[1];
+        assert_ne!(a0, a1);
+        for (i, &a) in r.assignments.iter().enumerate() {
+            assert_eq!(a, if i % 2 == 0 { a0 } else { a1 }, "point {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_seed_is_bit_stable_across_runs() {
+        let points: Vec<Fingerprint> = (0..40)
+            .map(|i| point((i % 7) as f64 / 7.0, (i % 3) as f64 * 1e-2))
+            .collect();
+        let a = kmeans(&points, 5, 2025, 50);
+        let b = kmeans(&points, 5, 2025, 50);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.iterations, b.iterations);
+        for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+            for (x, y) in ca.0.iter().zip(&cb.0) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // A different seed is allowed to (and here does) shuffle cluster
+        // ids; determinism is per-seed.
+        let c = kmeans(&points, 5, 2026, 50);
+        assert_eq!(c.assignments.len(), a.assignments.len());
+    }
+
+    #[test]
+    fn identical_points_land_in_one_cluster() {
+        let points = vec![point(0.5, 0.0); 12];
+        let r = kmeans(&points, 4, 7, 50);
+        let first = r.assignments[0];
+        assert!(r.assignments.iter().all(|&a| a == first));
+    }
+
+    #[test]
+    fn k_clamps_to_point_count() {
+        let points = vec![point(0.1, 0.0), point(0.9, 0.0)];
+        let r = kmeans(&points, 16, 1, 50);
+        assert_eq!(r.centroids.len(), 2);
+        assert_ne!(r.assignments[0], r.assignments[1]);
+    }
+}

@@ -30,8 +30,8 @@
 //!
 //! `--soak` is the SLO gate `scripts/check.sh` runs: open-loop load over
 //! 1024 connections (defaults; all overridable) that fails unless the run
-//! finishes with zero lost requests, a clean server drain, and a p999
-//! latency at or under `--slo-p999-us`.
+//! finishes with zero lost requests, zero `Busy` rejections, a clean
+//! server drain, and a p999 latency at or under `--slo-p999-us`.
 //!
 //! Like `throughput.rs` and `BENCH_sim_throughput.json`: a default run
 //! rewrites `BENCH_serve.json` at the repo root; `--check` compares against
@@ -921,6 +921,15 @@ fn main() -> ExitCode {
         }
         if let Err(e) = drain_accounts(&out) {
             eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+        if out.totals.busy_items > 0 {
+            eprintln!(
+                "FAIL: soak shed {} items as Busy; the SLO gate requires the \
+                 server to absorb the configured open-loop rate without \
+                 admission-control rejections",
+                out.totals.busy_items
+            );
             return ExitCode::FAILURE;
         }
         if p999_us > args.slo_p999_us {

@@ -222,6 +222,64 @@ impl Hierarchy {
         latency
     }
 
+    /// Architecturally touches the data line containing `addr` without any
+    /// timing machinery: a hit promotes recency, a miss walks the miss path
+    /// and fills, but no MSHR is allocated. This is the functional warm-up
+    /// path of sampled simulation (DESIGN.md §13) — it reproduces the cache
+    /// *contents* a full run would have left, at a fraction of
+    /// detailed-simulation cost.
+    pub fn warm_data(&mut self, addr: u64) {
+        let line = self.line_of(addr);
+        if self.l1d.probe(line) {
+            self.l1d.stats.hits += 1;
+        } else {
+            self.l1d.stats.misses += 1;
+            let _ = self.miss_path_latency(line);
+            self.l1d.fill(line);
+        }
+    }
+
+    /// Architecturally touches the instruction line containing `pc`
+    /// (functional-warm-up counterpart of [`Self::access_inst`], including
+    /// its sequential-fetch fast path).
+    pub fn warm_inst(&mut self, pc: u64) {
+        let line = self.line_of(pc);
+        if line == self.last_inst.0 && self.l1i.retouch(self.last_inst.1, line) {
+            self.l1i.stats.hits += 1;
+            return;
+        }
+        if let Some(slot) = self.l1i.probe_slot(line) {
+            self.last_inst = (line, slot);
+            self.l1i.stats.hits += 1;
+        } else {
+            self.l1i.stats.misses += 1;
+            let _ = self.miss_path_latency(line);
+            self.l1i.fill(line);
+        }
+    }
+
+    /// Functional-warm-up counterpart of the prefetcher: trains the stride
+    /// table exactly like a demand load does and installs confident
+    /// prefetch targets directly (no MSHRs, no timing), so a sampled
+    /// window starts with both the stride table and the prefetched lines
+    /// a full run would have resident.
+    pub fn warm_prefetch(&mut self, pc: u64, addr: u64) {
+        if self.prefetch_degree == 0 {
+            return;
+        }
+        if let Some(stride) = self.train_stride(pc, addr) {
+            for k in 1..=i64::from(self.prefetch_degree) {
+                let line = self.line_of(addr.wrapping_add_signed(stride * k));
+                if !self.l1d.probe(line) {
+                    let _ = self.miss_path_latency(line);
+                    self.l1d.fill(line);
+                    self.l1d.stats.prefetch_fills += 1;
+                    self.prefetches_issued += 1;
+                }
+            }
+        }
+    }
+
     /// A demand data access (load or store-drain). Returns the completion
     /// cycle, or `None` when no L1D MSHR is available (structural stall —
     /// retry next cycle).
@@ -286,7 +344,9 @@ impl Hierarchy {
         }
     }
 
-    fn train_prefetcher(&mut self, pc: u64, addr: u64, now: u64) {
+    /// Updates the stride entry for `pc`/`addr`; returns the confirmed
+    /// stride when confidence is high enough to prefetch.
+    fn train_stride(&mut self, pc: u64, addr: u64) -> Option<i64> {
         let slot = (pc >> 2) as usize % self.stride_table.len();
         let e = &mut self.stride_table[slot];
         if e.pc != pc {
@@ -296,7 +356,7 @@ impl Hierarchy {
                 stride: 0,
                 confidence: 0,
             };
-            return;
+            return None;
         }
         let stride = addr as i64 - e.last_addr as i64;
         if stride != 0 && stride == e.stride {
@@ -306,8 +366,11 @@ impl Hierarchy {
             e.confidence = 0;
         }
         e.last_addr = addr;
-        if e.confidence >= 2 {
-            let stride = e.stride;
+        (e.confidence >= 2).then_some(e.stride)
+    }
+
+    fn train_prefetcher(&mut self, pc: u64, addr: u64, now: u64) {
+        if let Some(stride) = self.train_stride(pc, addr) {
             for k in 1..=i64::from(self.prefetch_degree) {
                 let target = addr.wrapping_add_signed(stride * k);
                 self.prefetch_line(self.line_of(target), now);

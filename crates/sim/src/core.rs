@@ -393,6 +393,12 @@ pub struct Simulator<'a, P: MemDepPredictor> {
     committed: u64,
     last_commit_cycle: u64,
     stats: SimStats,
+    /// When set, the commit stage records a [`SimStats`] snapshot every
+    /// time the committed-uop count crosses a multiple of this value —
+    /// a pure observation that never perturbs pipeline timing (see
+    /// [`run_interval_deltas`](Self::run_interval_deltas)).
+    interval_uops: Option<u64>,
+    interval_snaps: Vec<SimStats>,
     /// Cycles between `end_tuning_period` calls to the predictor (§IV-F);
     /// `None` disables periodic tuning snapshots.
     tuning_period: Option<u64>,
@@ -470,6 +476,8 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
             committed: 0,
             last_commit_cycle: 0,
             stats: SimStats::default(),
+            interval_uops: None,
+            interval_snaps: Vec::new(),
             tuning_period: None,
             audit: false,
             fault: None,
@@ -524,19 +532,15 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
     /// Panics if the engine makes no forward progress for
     /// `WATCHDOG_CYCLES` cycles (an engine bug, not a workload property).
     pub fn run(mut self) -> SimStats {
-        while self.committed < self.trace.len() as u64 {
-            self.step();
-            assert!(
-                self.now - self.last_commit_cycle < WATCHDOG_CYCLES,
-                "no commit for {WATCHDOG_CYCLES} cycles at cycle {} \
-                 (committed {}/{}, fetch_idx {}, rob {} entries)",
-                self.now,
-                self.committed,
-                self.trace.len(),
-                self.fetch_idx,
-                self.rob.len()
-            );
-        }
+        self.run_to_end()
+    }
+
+    /// [`run`](Self::run) minus the consuming signature: drives the engine
+    /// to completion, performs end-of-run finalisation and returns the
+    /// final statistics, leaving `self` alive so callers can still read
+    /// fields populated during the run (interval snapshots).
+    fn run_to_end(&mut self) -> SimStats {
+        self.run_until_committed(self.trace.len() as u64);
         if self.tuning_period.is_some() {
             self.pred.end_tuning_period(); // flush the final partial period
         }
@@ -550,7 +554,161 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
         if self.audit {
             self.audit_final();
         }
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Steps the engine until at least `target` micro-ops have committed
+    /// (clamped to the trace length). The pipeline is left live — uops past
+    /// the boundary may already be in flight — so the engine can resume
+    /// from exactly this point, which is what the sampled-simulation entry
+    /// points below build on.
+    fn run_until_committed(&mut self, target: u64) {
+        let target = target.min(self.trace.len() as u64);
+        while self.committed < target {
+            self.step();
+            assert!(
+                self.now - self.last_commit_cycle < WATCHDOG_CYCLES,
+                "no commit for {WATCHDOG_CYCLES} cycles at cycle {} \
+                 (committed {}/{}, fetch_idx {}, rob {} entries)",
+                self.now,
+                self.committed,
+                self.trace.len(),
+                self.fetch_idx,
+                self.rob.len()
+            );
+        }
+    }
+
+    /// The statistics as they stand at the current cycle, with the fields
+    /// that [`run`](Self::run) normally derives at the end (cycle count,
+    /// branch and cache-miss totals) filled in from live state — a valid
+    /// subtrahend for [`SimStats::delta_since`].
+    fn stats_snapshot(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.now;
+        s.branch_mispredicts = self.bp.stats.cond_mispredicts;
+        s.indirect_mispredicts = self.bp.stats.indirect_mispredicts;
+        s.l1i_misses = self.mem.l1i.stats.misses;
+        s.l1d_misses = self.mem.l1d.stats.misses;
+        s.l2_misses = self.mem.l2.stats.misses;
+        s.l3_misses = self.mem.l3.stats.misses;
+        s
+    }
+
+    /// Runs to completion like [`run`](Self::run) but returns statistics
+    /// for the *measured window only*: everything committed after the first
+    /// `warmup_uops` commits. The warm-up primes predictor tables, branch
+    /// history and the cache hierarchy without polluting the measurement —
+    /// the representative-interval entry point of sampled simulation
+    /// (DESIGN.md §13).
+    ///
+    /// The boundary snapshot is taken *inside* the commit stage the instant
+    /// the count crosses `warmup_uops` — not after the enclosing cycle —
+    /// so the measured delta covers exactly `trace.len() - warmup_uops`
+    /// commits even when the commit stage retires several uops per cycle.
+    /// (A post-cycle snapshot can overshoot by a commit-width, which on a
+    /// short tail window would swallow the entire measurement.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_uops` covers the whole trace: there would be
+    /// nothing left to measure.
+    pub fn run_measured(mut self, warmup_uops: u64) -> SimStats {
+        assert!(
+            warmup_uops < self.trace.len() as u64,
+            "warm-up ({warmup_uops} uops) covers the whole {}-uop window",
+            self.trace.len()
+        );
+        if warmup_uops == 0 {
+            return self.run_to_end();
+        }
+        self.interval_uops = Some(warmup_uops);
+        let total = self.run_to_end();
+        // The commit-stage hook fires at every multiple of `warmup_uops`;
+        // the first snapshot is the exact warm boundary.
+        let warm = std::mem::take(&mut self.interval_snaps)
+            .into_iter()
+            .next()
+            .expect("commit hook must have fired at the warm boundary");
+        total.delta_since(&warm)
+    }
+
+    /// Functional (architectural) warm-up: replays `uops` — typically the
+    /// trace prefix *before* this simulator's own trace — through the cache
+    /// hierarchy, the branch predictor and the memory-dependence predictor
+    /// with no timing simulation at all. Afterwards every stateful
+    /// structure holds the contents a full detailed run of that prefix
+    /// would have left (caches by architectural reference order, branch
+    /// tables by actual outcomes, dependence tables by the trace's
+    /// ground-truth annotations), at an order of magnitude less cost than
+    /// simulating it. This is what lets sampled simulation measure a
+    /// mid-trace representative interval without paying for the whole
+    /// prefix in detail (DESIGN.md §13).
+    ///
+    /// Statistics touched while warming (cache hit/miss tallies, branch
+    /// counters) are charged to the pre-measurement epoch: callers pair
+    /// this with [`run_measured`](Self::run_measured), whose snapshot delta
+    /// subtracts them from the measured window.
+    ///
+    /// Must be called before the first [`step`](Self::run); the store
+    /// sequence counter advances so in-window store distances line up with
+    /// the prefix.
+    pub fn warm_functional(&mut self, uops: &[Uop]) {
+        assert_eq!(self.now, 0, "functional warm-up must precede the run");
+        warm_replay(
+            &mut self.mem,
+            &mut self.bp,
+            self.pred,
+            &mut self.store_seq_next,
+            uops,
+        );
+    }
+
+    /// Adopts a [`FunctionalWarmer`]'s architectural state: cache
+    /// hierarchy, branch predictor and store-sequence counter. The
+    /// memory-dependence predictor is *not* copied (the simulator borrows
+    /// it): construct the engine around a clone of
+    /// [`FunctionalWarmer::predictor`] instead. Must precede the first
+    /// cycle.
+    pub fn seed_from_warmer(&mut self, warmer: &FunctionalWarmer<P>) {
+        assert_eq!(self.now, 0, "warm-state restore must precede the run");
+        assert_eq!(self.committed, 0, "warm-state restore must precede the run");
+        self.mem = warmer.mem.clone();
+        self.bp = warmer.bp.clone();
+        self.store_seq_next = warmer.store_seq_next;
+    }
+
+    /// Runs to completion, returning one [`SimStats`] delta per
+    /// `interval_uops`-commit interval (the last interval may be partial).
+    /// Snapshots are taken *inside* the commit stage the instant the
+    /// committed count crosses each boundary — pure observations that never
+    /// alter pipeline timing — so each delta covers exactly `interval_uops`
+    /// commits and the deltas telescope: accumulating them reproduces the
+    /// unconstrained full run's statistics bit-exactly, which is what pins
+    /// the sampled-simulation projection math (see `mascot-sampling`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_uops` is zero.
+    pub fn run_interval_deltas(mut self, interval_uops: u64) -> Vec<SimStats> {
+        assert!(interval_uops > 0, "interval size must be non-zero");
+        self.interval_uops = Some(interval_uops);
+        let total = self.run_to_end();
+        let mut snaps = std::mem::take(&mut self.interval_snaps);
+        if (self.trace.len() as u64).is_multiple_of(interval_uops) {
+            // The final boundary coincides with the end of the trace; the
+            // finalised totals stand in for that snapshot (same counters,
+            // plus the end-of-run cycle accounting).
+            snaps.pop();
+        }
+        let mut out = Vec::with_capacity(snaps.len() + 1);
+        let mut prev = SimStats::default();
+        for snap in snaps {
+            out.push(snap.delta_since(&prev));
+            prev = snap;
+        }
+        out.push(total.delta_since(&prev));
+        out
     }
 
     fn step(&mut self) {
@@ -1114,6 +1272,12 @@ impl<'a, P: MemDepPredictor> Simulator<'a, P> {
                 }
             }
             self.recycle_list(e.dependents);
+            if let Some(iv) = self.interval_uops {
+                if self.committed.is_multiple_of(iv) {
+                    let snap = self.stats_snapshot();
+                    self.interval_snaps.push(snap);
+                }
+            }
         }
     }
 
@@ -1899,6 +2063,127 @@ fn observed_outcome(d: &crate::uop::TraceDep) -> LoadOutcome {
         // independent for prediction purposes (cannot happen with a
         // 114-entry store buffer; kept for safety).
         None => LoadOutcome::independent(),
+    }
+}
+
+/// The shared functional-replay loop behind [`Simulator::warm_functional`]
+/// and [`FunctionalWarmer::replay`]: drives every stateful structure a
+/// detailed run would train — cache hierarchy (demand lines *and* the
+/// stride prefetcher), branch predictor, memory-dependence predictor,
+/// store-sequence counter — with no timing machinery at all.
+fn warm_replay<P: MemDepPredictor>(
+    mem: &mut Hierarchy,
+    bp: &mut TagePredictor,
+    pred: &mut P,
+    store_seq_next: &mut u64,
+    uops: &[Uop],
+) {
+    for uop in uops {
+        mem.warm_inst(uop.pc);
+        match uop.kind {
+            UopKind::Alu => {}
+            UopKind::Load { addr, dep, .. } => {
+                mem.warm_data(addr);
+                mem.warm_prefetch(uop.pc, addr);
+                let oracle = dep.and_then(|d| {
+                    Some(GroundTruth {
+                        distance: StoreDistance::new(d.distance)?,
+                        class: d.class,
+                    })
+                });
+                let (prediction, meta) = pred.predict(uop.pc, *store_seq_next, oracle.as_ref());
+                let outcome = dep
+                    .as_ref()
+                    .map_or_else(LoadOutcome::independent, observed_outcome);
+                pred.train(uop.pc, meta, prediction, &outcome);
+            }
+            UopKind::Store { addr, .. } => {
+                mem.warm_data(addr);
+                let store_seq = *store_seq_next;
+                *store_seq_next += 1;
+                let _ = pred.predict_store_wait(uop.pc, store_seq);
+                pred.on_store_dispatch(uop.pc, store_seq);
+            }
+            UopKind::Branch {
+                kind,
+                taken,
+                target,
+            } => {
+                let _ = match kind {
+                    BranchKind::Conditional => bp.predict_and_train(uop.pc, taken),
+                    BranchKind::Indirect => bp.predict_indirect_and_train(uop.pc, target),
+                };
+                let ev = BranchEvent {
+                    pc: uop.pc,
+                    kind,
+                    taken,
+                    target,
+                };
+                bp.on_branch(&ev);
+                pred.on_branch(&ev);
+            }
+        }
+    }
+}
+
+/// A standalone functional (architectural) warm-up engine: owns exactly the
+/// state [`Simulator::warm_functional`] mutates — cache hierarchy, branch
+/// predictor, memory-dependence predictor, store-sequence counter — and
+/// replays trace uops through it with no timing simulation.
+///
+/// Unlike warming inside a `Simulator`, a warmer is **checkpointable**:
+/// because it is `Clone` (for `P: Clone`), one sequential pass over a trace
+/// can be frozen at each sampled window's warm-up boundary, and each frozen
+/// clone seeds that window's detailed simulator via
+/// [`Simulator::seed_from_warmer`]. The state a clone holds at commit
+/// boundary `b` is bit-identical to an independent functional replay of
+/// `trace[..b]` — replay is deterministic and history-only — so sampled
+/// windows see full-prefix warm state while the pass walks the trace only
+/// once (DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub struct FunctionalWarmer<P> {
+    mem: Hierarchy,
+    bp: TagePredictor,
+    pred: P,
+    store_seq_next: u64,
+    warmed: u64,
+}
+
+impl<P: MemDepPredictor> FunctionalWarmer<P> {
+    /// A cold warmer for the given core configuration, taking ownership of
+    /// the predictor it will train.
+    pub fn new(cfg: &CoreConfig, pred: P) -> Self {
+        Self {
+            mem: Hierarchy::new(cfg),
+            bp: TagePredictor::default(),
+            pred,
+            store_seq_next: 0,
+            warmed: 0,
+        }
+    }
+
+    /// Architecturally replays `uops`, continuing from wherever the warmer
+    /// already is (callers feed consecutive trace segments).
+    pub fn replay(&mut self, uops: &[Uop]) {
+        warm_replay(
+            &mut self.mem,
+            &mut self.bp,
+            &mut self.pred,
+            &mut self.store_seq_next,
+            uops,
+        );
+        self.warmed += uops.len() as u64;
+    }
+
+    /// The predictor as trained so far — clone it to build the simulator
+    /// that [`Simulator::seed_from_warmer`] will seed.
+    pub fn predictor(&self) -> &P {
+        &self.pred
+    }
+
+    /// Total uops replayed through this warmer.
+    pub fn warmed_uops(&self) -> u64 {
+        self.warmed
     }
 }
 

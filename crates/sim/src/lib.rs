@@ -39,7 +39,7 @@ pub use codec::CodecError;
 pub use cache::{CacheLevel, CacheStats, Hierarchy};
 pub use config::{CacheConfig, CoreConfig};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use core::{simulate, Fault, Simulator};
+pub use core::{simulate, Fault, FunctionalWarmer, Simulator};
 pub use stats::{SimStats, TenantCounters};
 pub use uop::{ArchReg, Trace, TraceDep, Uop, UopKind};
 

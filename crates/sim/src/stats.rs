@@ -155,6 +155,66 @@ pub struct SimStats {
     pub attacker: TenantCounters,
 }
 
+/// Applies `f` pairwise to every counter field of two stat blocks and
+/// builds the combined [`SimStats`] as an exhaustive struct literal — all
+/// of `delta_since`, `scaled` and `accumulate` route through here, so
+/// adding a counter to [`SimStats`] without deciding how it combines is a
+/// compile error, not a silently-wrong projection.
+macro_rules! map_counters {
+    ($a:expr, $b:expr, $f:expr) => {{
+        let (a, b) = ($a, $b);
+        let f = $f;
+        let tenant = |x: &TenantCounters, y: &TenantCounters| TenantCounters {
+            loads: f(x.loads, y.loads),
+            missed_dependencies: f(x.missed_dependencies, y.missed_dependencies),
+            false_dependencies: f(x.false_dependencies, y.false_dependencies),
+            false_bypasses: f(x.false_bypasses, y.false_bypasses),
+        };
+        SimStats {
+            cycles: f(a.cycles, b.cycles),
+            committed_uops: f(a.committed_uops, b.committed_uops),
+            committed_loads: f(a.committed_loads, b.committed_loads),
+            committed_stores: f(a.committed_stores, b.committed_stores),
+            committed_branches: f(a.committed_branches, b.committed_branches),
+            pred_no_dep: f(a.pred_no_dep, b.pred_no_dep),
+            pred_mdp: f(a.pred_mdp, b.pred_mdp),
+            pred_smb: f(a.pred_smb, b.pred_smb),
+            missed_dependencies: f(a.missed_dependencies, b.missed_dependencies),
+            false_dependencies: f(a.false_dependencies, b.false_dependencies),
+            wrong_store: f(a.wrong_store, b.wrong_store),
+            smb_errors: f(a.smb_errors, b.smb_errors),
+            correct_mdp: f(a.correct_mdp, b.correct_mdp),
+            correct_smb: f(a.correct_smb, b.correct_smb),
+            correct_no_dep: f(a.correct_no_dep, b.correct_no_dep),
+            mem_order_squashes: f(a.mem_order_squashes, b.mem_order_squashes),
+            smb_squashes: f(a.smb_squashes, b.smb_squashes),
+            branch_mispredicts: f(a.branch_mispredicts, b.branch_mispredicts),
+            indirect_mispredicts: f(a.indirect_mispredicts, b.indirect_mispredicts),
+            loads_bypassed: f(a.loads_bypassed, b.loads_bypassed),
+            loads_forwarded: f(a.loads_forwarded, b.loads_forwarded),
+            loads_from_cache: f(a.loads_from_cache, b.loads_from_cache),
+            class_direct_bypass: f(a.class_direct_bypass, b.class_direct_bypass),
+            class_no_offset: f(a.class_no_offset, b.class_no_offset),
+            class_offset: f(a.class_offset, b.class_offset),
+            class_mdp_only: f(a.class_mdp_only, b.class_mdp_only),
+            dependent_wait_cycles: f(a.dependent_wait_cycles, b.dependent_wait_cycles),
+            dependent_wait_count: f(a.dependent_wait_count, b.dependent_wait_count),
+            stall_frontend: f(a.stall_frontend, b.stall_frontend),
+            stall_rob: f(a.stall_rob, b.stall_rob),
+            stall_iq: f(a.stall_iq, b.stall_iq),
+            stall_lq: f(a.stall_lq, b.stall_lq),
+            stall_sb: f(a.stall_sb, b.stall_sb),
+            l1i_misses: f(a.l1i_misses, b.l1i_misses),
+            l1d_misses: f(a.l1d_misses, b.l1d_misses),
+            l2_misses: f(a.l2_misses, b.l2_misses),
+            l3_misses: f(a.l3_misses, b.l3_misses),
+            tenant_boundary: a.tenant_boundary.max(b.tenant_boundary),
+            victim: tenant(&a.victim, &b.victim),
+            attacker: tenant(&a.attacker, &b.attacker),
+        }
+    }};
+}
+
 impl SimStats {
     /// Instructions (micro-ops) per cycle.
     pub fn ipc(&self) -> f64 {
@@ -342,6 +402,50 @@ impl SimStats {
         Ok(())
     }
 
+    /// Counter-wise difference `self - start`, for measuring a window of a
+    /// longer run: snapshot the stats at the window's start, run on, and
+    /// diff. Every counter must be monotonic between the two snapshots
+    /// (they all are — the engine only ever increments them).
+    ///
+    /// `tenant_boundary` is configuration, not a counter; the larger of the
+    /// two is kept (they are equal in practice — a window cannot change the
+    /// boundary mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter of `start` exceeds its counterpart in `self`
+    /// (the snapshots are not from the same monotonic run).
+    pub fn delta_since(&self, start: &SimStats) -> SimStats {
+        map_counters!(self, start, |a: u64, b: u64| {
+            a.checked_sub(b)
+                .expect("stats snapshots must come from one monotonic run")
+        })
+    }
+
+    /// Counter-wise scaling by the exact rational `represented / measured`,
+    /// rounded to the nearest integer: the cluster-weighted projection step
+    /// of sampled simulation (DESIGN.md §13). A representative window of
+    /// `measured` committed uops stands in for `represented` uops of the
+    /// full trace. When `represented == measured` the result is bit-exact
+    /// (`scale == 1.0` and every counter round-trips through `f64`
+    /// unchanged — counters are far below 2^53).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is zero.
+    pub fn scaled(&self, represented: u64, measured: u64) -> SimStats {
+        assert!(measured > 0, "cannot scale a zero-uop measurement");
+        let scale = represented as f64 / measured as f64;
+        map_counters!(self, self, |a: u64, _| (a as f64 * scale).round() as u64)
+    }
+
+    /// Counter-wise accumulation of `other` into `self` (the Σ of the
+    /// cluster-weighted projection, and of per-interval deltas back into a
+    /// full-run total).
+    pub fn accumulate(&mut self, other: &SimStats) {
+        *self = map_counters!(&*self, other, |a: u64, b: u64| a + b);
+    }
+
     /// Fraction of committed loads with any in-flight dependence (Fig. 2's
     /// bar height).
     pub fn dependent_load_fraction(&self) -> f64 {
@@ -425,6 +529,75 @@ mod tests {
         };
         let err = s.check_identities().unwrap_err();
         assert!(err.contains("dispatch stalls"), "{err}");
+    }
+
+    #[test]
+    fn delta_and_accumulate_are_inverse() {
+        let start = SimStats {
+            cycles: 100,
+            committed_uops: 30,
+            committed_loads: 10,
+            stall_rob: 7,
+            l2_misses: 3,
+            tenant_boundary: 1 << 34,
+            victim: TenantCounters {
+                loads: 6,
+                false_bypasses: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let end = SimStats {
+            cycles: 250,
+            committed_uops: 90,
+            committed_loads: 31,
+            stall_rob: 11,
+            l2_misses: 8,
+            tenant_boundary: 1 << 34,
+            victim: TenantCounters {
+                loads: 20,
+                false_bypasses: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut window = end.delta_since(&start);
+        assert_eq!(window.cycles, 150);
+        assert_eq!(window.victim.loads, 14);
+        assert_eq!(window.tenant_boundary, 1 << 34);
+        window.accumulate(&start);
+        assert_eq!(window, end);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn delta_rejects_non_monotonic_snapshots() {
+        let big = SimStats {
+            cycles: 10,
+            ..Default::default()
+        };
+        let _ = SimStats::default().delta_since(&big);
+    }
+
+    #[test]
+    fn scaling_by_one_is_exact_and_by_weight_rounds() {
+        let s = SimStats {
+            cycles: 12_345,
+            committed_uops: 10_000,
+            committed_loads: 2_001,
+            smb_squashes: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.scaled(10_000, 10_000), s);
+        let tripled = s.scaled(30_000, 10_000);
+        assert_eq!(tripled.cycles, 37_035);
+        assert_eq!(tripled.committed_loads, 6_003);
+        // Non-integral scale rounds to nearest.
+        let s = SimStats {
+            smb_squashes: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.scaled(1, 2).smb_squashes, 2); // 1.5 rounds up
     }
 
     #[test]

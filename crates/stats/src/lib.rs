@@ -14,6 +14,8 @@
 //!   report the evaluation figures.
 //! * [`pollution`] — cross-context pollution rates and differential attack
 //!   success for the adversarial mistraining suite (DESIGN.md §12).
+//! * [`projection`] — relative-error and error-bar accounting for the
+//!   sampled-simulation projection (DESIGN.md §13).
 //!
 //! # Examples
 //!
@@ -34,7 +36,9 @@ pub mod confusion;
 pub mod counter;
 pub mod markov;
 pub mod pollution;
+pub mod projection;
 pub mod summary;
 
 pub use confusion::{ConfusionMatrix, F1Accumulator};
 pub use counter::SaturatingCounter;
+pub use projection::ErrorBar;

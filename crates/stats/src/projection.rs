@@ -1,0 +1,118 @@
+//! Projection error accounting for sampled simulation (DESIGN.md §13).
+//!
+//! Cluster-and-project replaces a full-trace simulation with a
+//! cluster-weighted sum over representative intervals; this module hosts
+//! the *error side* of that bargain: signed relative error of a projected
+//! metric against an occasional full reference run, and an accumulator
+//! that turns a handful of such comparisons into an honest error bar
+//! (mean/worst absolute error over n references).
+
+/// Signed relative error of `projected` against `reference`:
+/// `(projected - reference) / |reference|`. A zero reference with a
+/// nonzero projection reports infinity (the projection invented signal);
+/// two zeros agree exactly.
+pub fn relative_error(projected: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if projected == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (projected - reference) / reference.abs()
+    }
+}
+
+/// An error bar over a set of projected-vs-reference comparisons: each
+/// [`record`](ErrorBar::record)ed sample is one metric projected by the
+/// sampled pipeline and re-measured by a full reference run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ErrorBar {
+    /// Number of reference comparisons recorded.
+    pub samples: u64,
+    /// Σ |relative error| over the samples.
+    sum_abs: f64,
+    /// Worst |relative error| seen.
+    max_abs: f64,
+}
+
+impl ErrorBar {
+    /// An empty error bar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one projected-vs-reference comparison.
+    pub fn record(&mut self, projected: f64, reference: f64) {
+        let err = relative_error(projected, reference).abs();
+        self.samples += 1;
+        self.sum_abs += err;
+        self.max_abs = self.max_abs.max(err);
+    }
+
+    /// Mean absolute relative error, or 0 with no samples.
+    pub fn mean_abs(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.samples as f64
+        }
+    }
+
+    /// Worst absolute relative error seen.
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// True when every recorded comparison stayed within `bound`
+    /// (absolute relative error). Vacuously true with no samples — callers
+    /// gating on this should also require `samples > 0`.
+    pub fn within(&self, bound: f64) -> bool {
+        self.max_abs <= bound
+    }
+
+    /// Renders as `±x.x% (worst ±y.y%, n refs)`.
+    pub fn render(&self) -> String {
+        format!(
+            "±{:.2}% (worst ±{:.2}%, {} refs)",
+            self.mean_abs() * 100.0,
+            self.max_abs * 100.0,
+            self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_signs_and_zeros() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) + 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.5, 0.0), f64::INFINITY);
+        // Negative references normalise by magnitude.
+        assert!((relative_error(-0.9, -1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_bar_tracks_mean_and_worst() {
+        let mut bar = ErrorBar::new();
+        bar.record(1.02, 1.0); // +2%
+        bar.record(0.96, 1.0); // -4%
+        assert_eq!(bar.samples, 2);
+        assert!((bar.mean_abs() - 0.03).abs() < 1e-12);
+        assert!((bar.max_abs() - 0.04).abs() < 1e-12);
+        assert!(bar.within(0.05));
+        assert!(!bar.within(0.03));
+        assert!(bar.render().contains("2 refs"));
+    }
+
+    #[test]
+    fn empty_error_bar_is_vacuously_within() {
+        let bar = ErrorBar::new();
+        assert_eq!(bar.mean_abs(), 0.0);
+        assert!(bar.within(0.0));
+    }
+}

@@ -22,9 +22,11 @@
 
 pub mod adversarial;
 pub mod generator;
+pub mod interval;
 pub mod profile;
 pub mod spec;
 
 pub use adversarial::{compose, victim_only, AttackKind, TENANT_BOUNDARY};
 pub use generator::{generate, TraceBuilder};
+pub use interval::{intervals, slice};
 pub use profile::{ClassMix, WorkloadProfile};

@@ -13,7 +13,10 @@
 # RandomizedMascot cuts attack success >= 10x at <= 5% benign IPC cost),
 # if simulator throughput regresses against the committed
 # BENCH_sim_throughput.json baseline (median of 3 passes; >10% aggregate
-# or >12% for any single predictor's suite-wide number), if the
+# or >12% for any single predictor's suite-wide number), if sampled
+# simulation misses its gates against BENCH_sampling.json (>= 10x marginal
+# trace-volume speedup with projected IPC within 8% of the full-trace
+# reference, median of 3 passes), if the
 # mascot-serve loopback smoke (real mascotd process + mascot-loadgen over
 # TCP) loses requests, achieves zero QPS, or fails to drain on shutdown,
 # or if the open-loop soak (1k concurrent connections against one mascotd)
@@ -69,6 +72,24 @@ cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin adversarial -- --check
 
 echo "== throughput check (aggregate + per-predictor gates) =="
 cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin throughput -- --check
+
+echo "== sampling check (cluster-and-project speedup + accuracy gates) =="
+# Cluster-and-project sampled simulation (DESIGN.md §13): median of 3
+# passes must deliver >= 10x marginal trace-volume speedup on 10x-longer
+# traces with projected IPC within 8% of the full-trace reference, against
+# the committed BENCH_sampling.json baseline. Regenerate on intentional
+# changes with `cargo run --release -p mascot-bench --bin sampling`.
+cargo run --release ${CARGO_FLAGS} -p mascot-bench --bin sampling -- --check
+
+echo "== BENCH_sampling.json schema (speedup + error fields committed) =="
+for field in speedup cold_speedup max_abs_ipc_err mean_abs_ipc_err; do
+    grep -q "\"${field}\"" BENCH_sampling.json || {
+        echo "BENCH_sampling.json is missing \"${field}\": re-baseline with"
+        echo "  cargo run --release -p mascot-bench --bin sampling"
+        exit 1
+    }
+done
+echo "BENCH_sampling.json schema ok"
 
 echo "== serve smoke (mascotd + loadgen over loopback) =="
 PORT_FILE=$(mktemp)
